@@ -1,0 +1,117 @@
+//! Exact brute-force scan — the correctness oracle.
+
+use skewsearch_core::{Match, SetSimilaritySearch};
+use skewsearch_sets::{similarity, SparseVec};
+
+/// Linear scan over all vectors with exact Braun-Blanquet verification.
+/// `O(n · d̄)` per query; never wrong, never fast.
+pub struct BruteForce {
+    vectors: Vec<SparseVec>,
+    threshold: f64,
+}
+
+impl BruteForce {
+    /// Wraps the dataset (no preprocessing).
+    pub fn new(vectors: Vec<SparseVec>, threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must lie in [0,1]"
+        );
+        Self { vectors, threshold }
+    }
+
+    /// The exact top-1 neighbor regardless of threshold (useful as ground
+    /// truth for recall experiments). Ties broken by lowest id.
+    pub fn nearest(&self, q: &SparseVec) -> Option<Match> {
+        let mut best: Option<Match> = None;
+        for (id, x) in self.vectors.iter().enumerate() {
+            let sim = similarity::braun_blanquet(x, q);
+            if best.is_none_or(|b| sim > b.similarity) {
+                best = Some(Match {
+                    id,
+                    similarity: sim,
+                });
+            }
+        }
+        best
+    }
+}
+
+impl SetSimilaritySearch for BruteForce {
+    fn search(&self, q: &SparseVec) -> Option<Match> {
+        self.vectors.iter().enumerate().find_map(|(id, x)| {
+            let sim = similarity::braun_blanquet(x, q);
+            (sim >= self.threshold).then_some(Match {
+                id,
+                similarity: sim,
+            })
+        })
+    }
+
+    fn search_all(&self, q: &SparseVec) -> Vec<Match> {
+        self.vectors
+            .iter()
+            .enumerate()
+            .filter_map(|(id, x)| {
+                let sim = similarity::braun_blanquet(x, q);
+                (sim >= self.threshold).then_some(Match {
+                    id,
+                    similarity: sim,
+                })
+            })
+            .collect()
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(dims: &[u32]) -> SparseVec {
+        SparseVec::from_unsorted(dims.to_vec())
+    }
+
+    #[test]
+    fn finds_exact_matches_and_respects_threshold() {
+        let b = BruteForce::new(vec![v(&[1, 2, 3]), v(&[4, 5, 6]), v(&[1, 2])], 0.6);
+        let q = v(&[1, 2, 3]);
+        let hit = b.search(&q).unwrap();
+        assert_eq!(hit.id, 0);
+        assert_eq!(hit.similarity, 1.0);
+        let all = b.search_all(&q);
+        assert_eq!(all.len(), 2); // ids 0 and 2 (sim 2/3 >= 0.6)
+    }
+
+    #[test]
+    fn nearest_ignores_threshold() {
+        let b = BruteForce::new(vec![v(&[1]), v(&[9, 10])], 0.99);
+        let q = v(&[9]);
+        assert!(b.search(&q).is_none());
+        let near = b.nearest(&q).unwrap();
+        assert_eq!(near.id, 1);
+        assert_eq!(near.similarity, 0.5);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let b = BruteForce::new(vec![], 0.5);
+        assert!(b.is_empty());
+        assert!(b.search(&v(&[1])).is_none());
+        assert!(b.nearest(&v(&[1])).is_none());
+    }
+
+    #[test]
+    fn search_best_returns_maximum() {
+        let b = BruteForce::new(vec![v(&[1, 2]), v(&[1, 2, 3])], 0.1);
+        let q = v(&[1, 2, 3]);
+        assert_eq!(b.search_best(&q).unwrap().id, 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Ablations of the paper's three design departures from Chosen Path
+//! (its §3 + footnote 7), plus the hash-family choice:
+//!
+//! 1. **adaptive thresholds + product stopping rule** (CorrelatedScheme) vs
+//!    **constant thresholds + fixed depth** (ChosenPathScheme) on identical
+//!    skewed data;
+//! 2. the **Lemma 11 δ-boost** on vs off (δ = 0 keeps the structure but
+//!    drops the correctness margin);
+//! 3. **product stopping rule** in isolation: constant CP thresholds but
+//!    adaptive stopping;
+//! 4. **pairwise multiply-shift vs tabulation** level hashing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewsearch_bench::{bench_dataset, bench_rng};
+use skewsearch_core::{
+    enumerate_filters, ChosenPathScheme, CorrelatedScheme, ThresholdScheme, DEFAULT_NODE_BUDGET,
+};
+use skewsearch_datagen::BernoulliProfile;
+use skewsearch_hashing::{PathHasherStack, PathKey, Tabulation64};
+use std::hint::black_box;
+
+const ALPHA: f64 = 2.0 / 3.0;
+const N: usize = 1000;
+
+/// CorrelatedScheme with the Lemma 11 boost removed (δ = 0).
+struct NoBoostScheme {
+    phat_w: Vec<f64>,
+    log2_n: f64,
+    depth: usize,
+}
+
+impl NoBoostScheme {
+    fn new(alpha: f64, n: usize, profile: &BernoulliProfile) -> Self {
+        let w = profile.sum_p();
+        Self {
+            phat_w: profile
+                .ps()
+                .iter()
+                .map(|&p| (p * (1.0 - alpha) + alpha) * w)
+                .collect(),
+            log2_n: (n as f64).log2(),
+            depth: CorrelatedScheme::new(alpha, n, profile).depth_bound(),
+        }
+    }
+}
+
+impl ThresholdScheme for NoBoostScheme {
+    fn threshold(&self, _w: usize, depth: usize, dim: u32) -> f64 {
+        let denom = self.phat_w[dim as usize] - depth as f64;
+        if denom <= 1.0 {
+            1.0
+        } else {
+            1.0 / denom
+        }
+    }
+    fn is_complete(&self, mass: f64, _depth: usize) -> bool {
+        mass >= self.log2_n
+    }
+    fn depth_bound(&self) -> usize {
+        self.depth
+    }
+}
+
+/// Chosen Path thresholds but the paper's product stopping rule.
+struct ConstantThresholdProductStop {
+    b1: f64,
+    log2_n: f64,
+    depth: usize,
+}
+
+impl ThresholdScheme for ConstantThresholdProductStop {
+    fn threshold(&self, weight: usize, _depth: usize, _dim: u32) -> f64 {
+        let denom = self.b1 * weight as f64;
+        if denom <= 1.0 {
+            1.0
+        } else {
+            1.0 / denom
+        }
+    }
+    fn is_complete(&self, mass: f64, _depth: usize) -> bool {
+        mass >= self.log2_n
+    }
+    fn depth_bound(&self) -> usize {
+        self.depth
+    }
+}
+
+fn enumeration_cost<S: ThresholdScheme>(
+    scheme: &S,
+    ds: &skewsearch_datagen::Dataset,
+    profile: &BernoulliProfile,
+) -> (usize, usize) {
+    let mut rng = bench_rng();
+    let stack = PathHasherStack::sample(&mut rng, scheme.depth_bound());
+    let mut out: Vec<PathKey> = Vec::new();
+    let mut filters = 0usize;
+    let mut nodes = 0usize;
+    for i in 0..64 {
+        out.clear();
+        let stats = enumerate_filters(
+            ds.vector(i),
+            profile,
+            scheme,
+            &stack,
+            DEFAULT_NODE_BUDGET,
+            &mut out,
+        );
+        filters += stats.emitted;
+        nodes += stats.nodes;
+    }
+    (filters, nodes)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let (ds, profile) = bench_dataset(N, true);
+    let correlated = CorrelatedScheme::new(ALPHA, N, &profile);
+    let (b1m, b2m) = skewsearch_rho::expected_similarities(&profile, ALPHA);
+    let chosen_path = ChosenPathScheme::new(b1m / 1.3, b2m, N);
+    let no_boost = NoBoostScheme::new(ALPHA, N, &profile);
+    let hybrid = ConstantThresholdProductStop {
+        b1: b1m / 1.3,
+        log2_n: (N as f64).log2(),
+        depth: correlated.depth_bound(),
+    };
+
+    let mut g = c.benchmark_group("ablation_enumeration");
+    g.bench_function("adaptive_full(ours)", |b| {
+        b.iter(|| black_box(enumeration_cost(&correlated, &ds, &profile)))
+    });
+    g.bench_function("constant_fixed_depth(chosen_path)", |b| {
+        b.iter(|| black_box(enumeration_cost(&chosen_path, &ds, &profile)))
+    });
+    g.bench_function("no_delta_boost", |b| {
+        b.iter(|| black_box(enumeration_cost(&no_boost, &ds, &profile)))
+    });
+    g.bench_function("constant_thresholds_product_stop", |b| {
+        b.iter(|| black_box(enumeration_cost(&hybrid, &ds, &profile)))
+    });
+    g.finish();
+
+    // Hash-family ablation: throughput of the level-hash decision.
+    let mut rng = bench_rng();
+    let stack = PathHasherStack::sample(&mut rng, 4);
+    let tab = Tabulation64::sample(&mut rng);
+    let keys: Vec<PathKey> = (0..4096u32)
+        .map(|i| PathKey::EMPTY.extend(i).extend(i ^ 7))
+        .collect();
+    let mut g = c.benchmark_group("ablation_hash_family");
+    g.bench_function("pairwise_multiply_shift", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys {
+                acc += stack.level(1).accepts(*k, 0.3) as u32;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("tabulation", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys {
+                acc += (tab.hash_unit(k.raw() as u64 ^ (k.raw() >> 64) as u64) < 0.3) as u32;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+
+    // Print the structural counts once — the ablation's real content.
+    for (name, scheme) in [
+        ("adaptive_full(ours)", &correlated as &dyn ThresholdScheme),
+        ("constant_fixed_depth(CP)", &chosen_path),
+        ("no_delta_boost", &no_boost),
+        ("const_thresh_product_stop", &hybrid),
+    ] {
+        // dyn dispatch wrapper for printing only.
+        struct Dyn<'a>(&'a dyn ThresholdScheme);
+        impl ThresholdScheme for Dyn<'_> {
+            fn threshold(&self, w: usize, d: usize, i: u32) -> f64 {
+                self.0.threshold(w, d, i)
+            }
+            fn is_complete(&self, m: f64, d: usize) -> bool {
+                self.0.is_complete(m, d)
+            }
+            fn depth_bound(&self) -> usize {
+                self.0.depth_bound()
+            }
+        }
+        let (filters, nodes) = enumeration_cost(&Dyn(scheme), &ds, &profile);
+        println!("# ablation {name}: filters={filters} nodes={nodes} (64 vectors)");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = skewsearch_bench::quick_criterion();
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Preprocessing cost: building each structure over the same skewed dataset
+//! (Theorem 2's `O(d n^{1+ρᵤ+ε})` build vs the baselines').
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewsearch_baselines::{ChosenPathIndex, ChosenPathParams, MinHashLsh, MinHashParams, PrefixFilterIndex};
+use skewsearch_bench::{bench_dataset, bench_rng};
+use skewsearch_core::{
+    AdversarialIndex, AdversarialParams, CorrelatedIndex, CorrelatedParams, IndexOptions,
+    Repetitions,
+};
+use std::hint::black_box;
+
+const N: usize = 1000;
+const ALPHA: f64 = 2.0 / 3.0;
+
+fn bench_build(c: &mut Criterion) {
+    let (ds, profile) = bench_dataset(N, true);
+    let opts = IndexOptions {
+        repetitions: Repetitions::Fixed(3),
+        ..IndexOptions::default()
+    };
+    let mut g = c.benchmark_group(format!("build_n{N}"));
+    g.bench_function("correlated_index", |b| {
+        b.iter(|| {
+            let mut rng = bench_rng();
+            black_box(CorrelatedIndex::build(
+                &ds,
+                &profile,
+                CorrelatedParams::new(ALPHA).unwrap().with_options(opts),
+                &mut rng,
+            ))
+        })
+    });
+    g.bench_function("adversarial_index", |b| {
+        b.iter(|| {
+            let mut rng = bench_rng();
+            black_box(AdversarialIndex::build(
+                &ds,
+                &profile,
+                AdversarialParams::new(ALPHA / 1.3)
+                    .unwrap()
+                    .with_options(opts),
+                &mut rng,
+            ))
+        })
+    });
+    g.bench_function("chosen_path", |b| {
+        b.iter(|| {
+            let mut rng = bench_rng();
+            black_box(ChosenPathIndex::build(
+                &ds,
+                &profile,
+                ChosenPathParams::for_correlated_model(&profile, ALPHA, 1.0 / 1.3)
+                    .unwrap()
+                    .with_options(opts),
+                &mut rng,
+            ))
+        })
+    });
+    let (b1, b2) = skewsearch_rho::expected_similarities(&profile, ALPHA);
+    g.bench_function("minhash", |b| {
+        b.iter(|| {
+            let mut rng = bench_rng();
+            black_box(MinHashLsh::build(
+                &ds,
+                MinHashParams::new((b1 / 1.3).max(b2 * 1.01), b2).unwrap(),
+                &mut rng,
+            ))
+        })
+    });
+    g.bench_function("prefix_filter", |b| {
+        b.iter(|| black_box(PrefixFilterIndex::build(&ds, ALPHA / 1.3)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = skewsearch_bench::quick_criterion();
+    targets = bench_build
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 1 bench: regenerating the ρ curves (pure exponent solving).
+//!
+//! Regenerates the figure once per iteration — the artifact is analytic, so
+//! "reproducing Figure 1" is literally this computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewsearch_experiments::fig1;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("paper_setting_50pts", |b| {
+        b.iter(|| {
+            let fig = fig1::paper_setting(black_box(50));
+            black_box(fig.max_gap())
+        })
+    });
+    g.bench_function("single_rho_solve", |b| {
+        b.iter(|| {
+            skewsearch_rho::rho_correlated_blocks(
+                black_box(&[(1.0, 0.25), (1.0, 0.25 / 8.0)]),
+                black_box(2.0 / 3.0),
+            )
+        })
+    });
+    g.finish();
+
+    // Emit the artifact once so `cargo bench` leaves the figure data behind.
+    let fig = fig1::paper_setting(50);
+    println!("\n{}", fig.table().render_tsv());
+}
+
+criterion_group! {
+    name = benches;
+    config = skewsearch_bench::quick_criterion();
+    targets = bench_fig1
+}
+criterion_main!(benches);

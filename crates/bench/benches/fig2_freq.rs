@@ -1,0 +1,27 @@
+//! Figure 2 bench: surrogate generation + frequency-plot pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewsearch_experiments::fig2;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.bench_function("all_surrogates_n600", |b| {
+        b.iter(|| black_box(fig2::from_surrogates(black_box(600), 7)))
+    });
+    let (ds, _) = skewsearch_datagen::surrogate_catalog()[1].generate(2000, &mut skewsearch_bench::bench_rng());
+    g.bench_function("freq_plot_of_loaded_dataset", |b| {
+        b.iter(|| black_box(fig2::from_dataset("bench", black_box(&ds))))
+    });
+    g.finish();
+
+    let fig = fig2::from_surrogates(1500, 42);
+    println!("\n{}", fig.summary().render_tsv());
+}
+
+criterion_group! {
+    name = benches;
+    config = skewsearch_bench::quick_criterion();
+    targets = bench_fig2
+}
+criterion_main!(benches);

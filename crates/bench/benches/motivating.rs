@@ -1,0 +1,33 @@
+//! §1 motivating-example bench: harmonic profile + split balancing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewsearch_experiments::motivating;
+use std::hint::black_box;
+
+fn bench_motivating(c: &mut Criterion) {
+    let mut g = c.benchmark_group("motivating");
+    g.bench_function("compute_d100k", |b| {
+        b.iter(|| black_box(motivating::compute(black_box(100_000), 0.5)))
+    });
+    g.bench_function("balance_only", |b| {
+        b.iter(|| {
+            black_box(skewsearch_core::balance_split_normalized(
+                black_box(0.077),
+                black_box(8.6e-7),
+                0.5,
+                0.94,
+                0.06,
+            ))
+        })
+    });
+    g.finish();
+
+    println!("\n{}", motivating::compute(100_000, 0.5).table().render_tsv());
+}
+
+criterion_group! {
+    name = benches;
+    config = skewsearch_bench::quick_criterion();
+    targets = bench_motivating
+}
+criterion_main!(benches);

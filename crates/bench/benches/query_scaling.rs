@@ -1,0 +1,110 @@
+//! Query latency: the paper's index vs every baseline, skewed vs uniform.
+//!
+//! The Theorem 1/2 shape claims at bench scale: on skewed data our query
+//! stays cheap while brute force is linear; on uniform data we match Chosen
+//! Path (the balanced-case recovery of §1.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skewsearch_baselines::{
+    BruteForce, ChosenPathIndex, ChosenPathParams, MinHashLsh, MinHashParams, PrefixFilterIndex,
+};
+use skewsearch_bench::{bench_dataset, bench_rng};
+use skewsearch_core::{
+    CorrelatedIndex, CorrelatedParams, IndexOptions, Repetitions, SetSimilaritySearch,
+};
+use skewsearch_datagen::correlated_query;
+use skewsearch_sets::SparseVec;
+use std::hint::black_box;
+
+const ALPHA: f64 = 2.0 / 3.0;
+const N: usize = 2000;
+const QUERIES: usize = 16;
+
+fn queries(
+    ds: &skewsearch_datagen::Dataset,
+    profile: &skewsearch_datagen::BernoulliProfile,
+) -> Vec<SparseVec> {
+    let mut rng = bench_rng();
+    (0..QUERIES)
+        .map(|t| correlated_query(ds.vector(t * 37 % ds.n()), profile, ALPHA, &mut rng))
+        .collect()
+}
+
+fn bench_queries(c: &mut Criterion) {
+    for (label, skewed) in [("skewed", true), ("uniform", false)] {
+        let (ds, profile) = bench_dataset(N, skewed);
+        let qs = queries(&ds, &profile);
+        let mut rng = bench_rng();
+        let opts = IndexOptions {
+            repetitions: Repetitions::Fixed(4),
+            ..IndexOptions::default()
+        };
+        let ours = CorrelatedIndex::build(
+            &ds,
+            &profile,
+            CorrelatedParams::new(ALPHA).unwrap().with_options(opts),
+            &mut rng,
+        );
+        let cp = ChosenPathIndex::build(
+            &ds,
+            &profile,
+            ChosenPathParams::for_correlated_model(&profile, ALPHA, 1.0 / 1.3)
+                .unwrap()
+                .with_options(opts),
+            &mut rng,
+        );
+        let (b1, b2) = skewsearch_rho::expected_similarities(&profile, ALPHA);
+        let mh = MinHashLsh::build(
+            &ds,
+            MinHashParams::new((b1 / 1.3).max(b2 * 1.01), b2).unwrap(),
+            &mut rng,
+        );
+        let pf = PrefixFilterIndex::build(&ds, ALPHA / 1.3);
+        let bf = BruteForce::new(ds.vectors().to_vec(), ALPHA / 1.3);
+
+        let mut g = c.benchmark_group(format!("query_{label}_n{N}"));
+        g.bench_with_input(BenchmarkId::new("ours", N), &qs, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(ours.search(black_box(q)));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("chosen_path", N), &qs, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(cp.search(black_box(q)));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("minhash", N), &qs, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(mh.search(black_box(q)));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("prefix_filter", N), &qs, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(pf.search(black_box(q)));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("brute_force", N), &qs, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(bf.search(black_box(q)));
+                }
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = skewsearch_bench::quick_criterion();
+    targets = bench_queries
+}
+criterion_main!(benches);

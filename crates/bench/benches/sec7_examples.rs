@@ -1,0 +1,32 @@
+//! §7 worked-example bench: exponent computations at asymptotic n.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewsearch_experiments::sec7;
+use std::hint::black_box;
+
+fn bench_sec7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec7");
+    g.bench_function("adversarial_examples", |b| {
+        b.iter(|| black_box(sec7::sec71_adversarial(black_box(1usize << 40))))
+    });
+    g.bench_function("correlated_examples", |b| {
+        b.iter(|| black_box(sec7::sec72_correlated(black_box(1usize << 40), 20.0)))
+    });
+    g.finish();
+
+    println!(
+        "\n{}",
+        sec7::render(&sec7::sec71_adversarial(1 << 40), "Section 7.1").render_tsv()
+    );
+    println!(
+        "{}",
+        sec7::render(&sec7::sec72_correlated(1 << 40, 20.0), "Section 7.2").render_tsv()
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = skewsearch_bench::quick_criterion();
+    targets = bench_sec7
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Substrate microbenchmarks: set intersection (merge vs gallop), vector
+//! sampling (skip vs naive), and internal hashing (Fx vs SipHash).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::RngExt;
+use skewsearch_bench::bench_rng;
+use skewsearch_datagen::{BernoulliProfile, VectorSampler};
+use skewsearch_hashing::FxHashMap;
+use skewsearch_sets::SparseVec;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_intersections(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let mut draw = |n: usize, d: u32| -> SparseVec {
+        let mut dims = Vec::with_capacity(n);
+        for _ in 0..n {
+            dims.push(rng.random_range(0..d));
+        }
+        SparseVec::from_unsorted(dims)
+    };
+    let a50 = draw(50, 10_000);
+    let b50 = draw(50, 10_000);
+    let big = draw(20_000, 100_000);
+    let small = draw(40, 100_000);
+    let mut g = c.benchmark_group("intersection");
+    g.bench_function("merge_50x50", |b| {
+        b.iter(|| black_box(a50.intersection_len(black_box(&b50))))
+    });
+    g.bench_function("gallop_40x20000", |b| {
+        b.iter(|| black_box(small.intersection_len(black_box(&big))))
+    });
+    g.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let profile = BernoulliProfile::zipf(50_000, 1.0, 20.0, 0.5).unwrap();
+    let sampler = VectorSampler::new(&profile);
+    let mut g = c.benchmark_group("sampler_zipf_d50k");
+    g.bench_function("skip_sampling", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| black_box(sampler.sample(&mut rng)))
+    });
+    g.bench_function("naive_per_dim", |b| {
+        let mut rng = bench_rng();
+        b.iter(|| black_box(sampler.sample_naive(&mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_hashmaps(c: &mut Criterion) {
+    let keys: Vec<u128> = (0..20_000u128).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    let mut g = c.benchmark_group("bucket_map_u128");
+    g.bench_function("fx_hashmap", |b| {
+        b.iter(|| {
+            let mut m: FxHashMap<u128, u32> = FxHashMap::default();
+            for (i, &k) in keys.iter().enumerate() {
+                m.insert(k, i as u32);
+            }
+            black_box(m.len())
+        })
+    });
+    g.bench_function("std_siphash", |b| {
+        b.iter(|| {
+            let mut m: HashMap<u128, u32> = HashMap::new();
+            for (i, &k) in keys.iter().enumerate() {
+                m.insert(k, i as u32);
+            }
+            black_box(m.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = skewsearch_bench::quick_criterion();
+    targets = bench_intersections, bench_samplers, bench_hashmaps
+}
+criterion_main!(benches);

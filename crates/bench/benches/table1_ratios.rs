@@ -1,0 +1,28 @@
+//! Table 1 bench: exact independence-ratio computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewsearch_datagen::independence_ratios;
+use skewsearch_experiments::table1;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let (ds, _) = skewsearch_bench::bench_dataset(2000, true);
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("ratios_single_dataset_n2000", |b| {
+        b.iter(|| black_box(independence_ratios(black_box(&ds))))
+    });
+    g.bench_function("full_table_n800", |b| {
+        b.iter(|| black_box(table1::from_surrogates(black_box(800), 17)))
+    });
+    g.finish();
+
+    let t = table1::from_surrogates(2500, 17);
+    println!("\n{}", t.table().render_tsv());
+}
+
+criterion_group! {
+    name = benches;
+    config = skewsearch_bench::quick_criterion();
+    targets = bench_table1
+}
+criterion_main!(benches);

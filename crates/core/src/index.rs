@@ -1,0 +1,604 @@
+//! The inverted filter index with independent repetitions.
+//!
+//! Preprocessing (§3): compute `F(x)` for every `x ∈ S` and build an inverted
+//! index `filter → {x : f ∈ F(x)}`. A query enumerates `F(q)` with the *same*
+//! hash stack and verifies every vector sharing a filter.
+//!
+//! Lemma 5 guarantees a shared filter for close pairs with probability only
+//! `≥ 1/log n` per hash-stack draw, so the index keeps `R = Θ(log n)`
+//! independent **repetitions** (footnote 6 of the paper) and a query probes
+//! them in order until a verified hit.
+
+use crate::engine::{enumerate_filters, EnumStats, DEFAULT_NODE_BUDGET};
+use crate::scheme::ThresholdScheme;
+use crate::traits::{Match, SetSimilaritySearch};
+use rand::{Rng, RngExt, SeedableRng};
+use skewsearch_datagen::BernoulliProfile;
+use skewsearch_hashing::{FxHashMap, FxHashSet, PathHasherStack};
+use skewsearch_sets::{similarity, SparseVec};
+
+/// How many independent repetitions to build.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Repetitions {
+    /// `⌈factor · ln n⌉` repetitions (Lemma 5's `1/log n` success per
+    /// repetition makes `Θ(log n)` the natural boost; `factor ≈ 1` gives
+    /// constant success probability, larger factors give high probability).
+    Auto {
+        /// Multiplier on `ln n`.
+        factor: f64,
+    },
+    /// Exactly this many repetitions.
+    Fixed(usize),
+}
+
+impl Repetitions {
+    /// Resolves to a concrete count for a dataset of `n` vectors.
+    pub fn resolve(self, n: usize) -> usize {
+        match self {
+            Repetitions::Auto { factor } => {
+                ((n.max(2) as f64).ln() * factor).ceil().max(1.0) as usize
+            }
+            Repetitions::Fixed(r) => r.max(1),
+        }
+    }
+}
+
+impl Default for Repetitions {
+    fn default() -> Self {
+        Repetitions::Auto { factor: 1.0 }
+    }
+}
+
+/// Tuning knobs shared by all LSF indexes.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexOptions {
+    /// Repetition policy.
+    pub repetitions: Repetitions,
+    /// Per-vector node budget for path enumeration.
+    pub node_budget: usize,
+    /// Build threads. `1` = sequential; more parallelizes filter enumeration
+    /// across vectors (crossbeam scoped threads). The built index is
+    /// **identical** for any thread count: chunks are merged in id order.
+    pub build_threads: usize,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        Self {
+            repetitions: Repetitions::default(),
+            node_budget: DEFAULT_NODE_BUDGET,
+            build_threads: 1,
+        }
+    }
+}
+
+/// Aggregate statistics from building an index.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildStats {
+    /// Repetitions built.
+    pub repetitions: usize,
+    /// Total filters stored across vectors and repetitions.
+    pub total_filters: usize,
+    /// Distinct buckets across repetitions.
+    pub distinct_buckets: usize,
+    /// Largest single bucket.
+    pub max_bucket: usize,
+    /// Vectors whose enumeration hit the node budget (any repetition).
+    pub truncated_vectors: usize,
+    /// Vectors whose enumeration hit the depth cap (any repetition).
+    pub depth_capped_vectors: usize,
+}
+
+impl BuildStats {
+    /// Mean stored filters per vector per repetition.
+    pub fn avg_filters_per_vector(&self, n: usize) -> f64 {
+        if n == 0 || self.repetitions == 0 {
+            return 0.0;
+        }
+        self.total_filters as f64 / (n as f64 * self.repetitions as f64)
+    }
+}
+
+/// Statistics from answering one query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Filters enumerated for the query (across probed repetitions).
+    pub filters: usize,
+    /// Posting-list entries touched.
+    pub candidates: usize,
+    /// Distinct vectors verified with a similarity computation.
+    pub verified: usize,
+    /// Repetitions probed before returning.
+    pub repetitions_probed: usize,
+}
+
+/// One repetition: an independently drawn hash stack and its inverted index.
+struct Repetition {
+    hashers: PathHasherStack,
+    buckets: FxHashMap<u128, Vec<u32>>,
+}
+
+/// Per-chunk enumeration result (`pairs` in ascending id order).
+struct ChunkFilters {
+    pairs: Vec<(u32, u128)>,
+    truncated: Vec<u32>,
+    depth_capped: Vec<u32>,
+}
+
+/// Enumerates `F(x)` for every vector, optionally fanning out over
+/// contiguous id chunks with crossbeam scoped threads. Chunks are returned
+/// in id order, so downstream merging is thread-count independent.
+fn enumerate_chunked<S: ThresholdScheme + Sync>(
+    vectors: &[SparseVec],
+    profile: &BernoulliProfile,
+    scheme: &S,
+    hashers: &PathHasherStack,
+    node_budget: usize,
+    threads: usize,
+) -> Vec<ChunkFilters> {
+    let enumerate_chunk = |base: usize, slice: &[SparseVec]| -> ChunkFilters {
+        let mut chunk = ChunkFilters {
+            pairs: Vec::new(),
+            truncated: Vec::new(),
+            depth_capped: Vec::new(),
+        };
+        let mut scratch: Vec<skewsearch_hashing::PathKey> = Vec::new();
+        for (off, x) in slice.iter().enumerate() {
+            let id = (base + off) as u32;
+            scratch.clear();
+            let stats: EnumStats =
+                enumerate_filters(x, profile, scheme, hashers, node_budget, &mut scratch);
+            if stats.truncated {
+                chunk.truncated.push(id);
+            }
+            if stats.depth_capped {
+                chunk.depth_capped.push(id);
+            }
+            chunk.pairs.extend(scratch.iter().map(|k| (id, k.raw())));
+        }
+        chunk
+    };
+
+    let threads = threads.max(1).min(vectors.len().max(1));
+    if threads <= 1 {
+        return vec![enumerate_chunk(0, vectors)];
+    }
+    let chunk_len = vectors.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = vectors
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(c, slice)| {
+                let f = &enumerate_chunk;
+                scope.spawn(move |_| f(c * chunk_len, slice))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("build worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+/// A locality-sensitive filtering index over a dataset, generic in the
+/// [`ThresholdScheme`]. This is the shared machinery behind
+/// [`crate::AdversarialIndex`], [`crate::CorrelatedIndex`], and the Chosen
+/// Path baseline.
+pub struct LsfIndex<S: ThresholdScheme> {
+    profile: BernoulliProfile,
+    vectors: Vec<SparseVec>,
+    scheme: S,
+    reps: Vec<Repetition>,
+    verify_threshold: f64,
+    node_budget: usize,
+    build_stats: BuildStats,
+}
+
+impl<S: ThresholdScheme> LsfIndex<S> {
+    /// Builds the index: draws `R` hash stacks, enumerates `F(x)` for every
+    /// vector under each, and fills the inverted indexes.
+    ///
+    /// `verify_threshold` is the Braun-Blanquet bar `b₁` candidates must
+    /// clear.
+    pub fn build<R: Rng + ?Sized>(
+        vectors: Vec<SparseVec>,
+        profile: BernoulliProfile,
+        scheme: S,
+        verify_threshold: f64,
+        options: IndexOptions,
+        rng: &mut R,
+    ) -> Self
+    where
+        S: Sync,
+    {
+        assert!(
+            (0.0..=1.0).contains(&verify_threshold),
+            "verification threshold must lie in [0,1]"
+        );
+        let n = vectors.len();
+        let r = options.repetitions.resolve(n);
+        let depth = scheme.depth_bound();
+        let mut build_stats = BuildStats {
+            repetitions: r,
+            ..BuildStats::default()
+        };
+        let mut truncated: FxHashSet<u32> = FxHashSet::default();
+        let mut depth_capped: FxHashSet<u32> = FxHashSet::default();
+
+        // Each repetition gets an independent stack seeded from the caller's
+        // RNG; builds stay deterministic under a fixed seed (and under any
+        // thread count: chunk results are merged in id order).
+        let mut reps = Vec::with_capacity(r);
+        for _ in 0..r {
+            let mut stack_rng =
+                rand::rngs::StdRng::seed_from_u64(rng.random::<u64>());
+            let hashers = PathHasherStack::sample(&mut stack_rng, depth);
+            let chunks = enumerate_chunked(
+                &vectors,
+                &profile,
+                &scheme,
+                &hashers,
+                options.node_budget,
+                options.build_threads,
+            );
+            let mut buckets: FxHashMap<u128, Vec<u32>> = FxHashMap::default();
+            for chunk in chunks {
+                build_stats.total_filters += chunk.pairs.len();
+                for (id, key) in chunk.pairs {
+                    buckets.entry(key).or_default().push(id);
+                }
+                truncated.extend(chunk.truncated);
+                depth_capped.extend(chunk.depth_capped);
+            }
+            build_stats.distinct_buckets += buckets.len();
+            build_stats.max_bucket = build_stats
+                .max_bucket
+                .max(buckets.values().map(Vec::len).max().unwrap_or(0));
+            reps.push(Repetition { hashers, buckets });
+        }
+        build_stats.truncated_vectors = truncated.len();
+        build_stats.depth_capped_vectors = depth_capped.len();
+
+        Self {
+            profile,
+            vectors,
+            scheme,
+            reps,
+            verify_threshold,
+            node_budget: options.node_budget,
+            build_stats,
+        }
+    }
+
+    /// Build statistics.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
+    }
+
+    /// The scheme driving this index.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// The indexed vectors.
+    pub fn vectors(&self) -> &[SparseVec] {
+        &self.vectors
+    }
+
+    /// The profile the index was built against.
+    pub fn profile(&self) -> &BernoulliProfile {
+        &self.profile
+    }
+
+    /// Core probing loop. Enumerates the query's filters repetition by
+    /// repetition and feeds each *distinct* candidate to `visit`; stops when
+    /// `visit` returns `false`. Returns query statistics.
+    pub fn probe(&self, q: &SparseVec, mut visit: impl FnMut(u32) -> bool) -> QueryStats {
+        let mut stats = QueryStats::default();
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        let mut filters = Vec::new();
+        'reps: for rep in &self.reps {
+            stats.repetitions_probed += 1;
+            filters.clear();
+            enumerate_filters(
+                q,
+                &self.profile,
+                &self.scheme,
+                &rep.hashers,
+                self.node_budget,
+                &mut filters,
+            );
+            stats.filters += filters.len();
+            for key in &filters {
+                if let Some(bucket) = rep.buckets.get(&key.raw()) {
+                    stats.candidates += bucket.len();
+                    for &id in bucket {
+                        if seen.insert(id) {
+                            stats.verified += 1;
+                            if !visit(id) {
+                                break 'reps;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// [`SetSimilaritySearch::search`] with statistics.
+    pub fn search_with_stats(&self, q: &SparseVec) -> (Option<Match>, QueryStats) {
+        let mut hit = None;
+        let stats = self.probe(q, |id| {
+            let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
+            if sim >= self.verify_threshold {
+                hit = Some(Match {
+                    id: id as usize,
+                    similarity: sim,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        (hit, stats)
+    }
+
+    /// Distinct candidate ids the index would verify for `q` (no similarity
+    /// filtering) — the quantity the paper's `n^ρ` bounds govern.
+    pub fn distinct_candidates(&self, q: &SparseVec) -> (Vec<u32>, QueryStats) {
+        let mut ids = Vec::new();
+        let stats = self.probe(q, |id| {
+            ids.push(id);
+            true
+        });
+        (ids, stats)
+    }
+}
+
+impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
+    fn search(&self, q: &SparseVec) -> Option<Match> {
+        self.search_with_stats(q).0
+    }
+
+    fn search_all(&self, q: &SparseVec) -> Vec<Match> {
+        let mut out = Vec::new();
+        self.probe(q, |id| {
+            let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
+            if sim >= self.verify_threshold {
+                out.push(Match {
+                    id: id as usize,
+                    similarity: sim,
+                });
+            }
+            true
+        });
+        out
+    }
+
+    fn threshold(&self) -> f64 {
+        self.verify_threshold
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::CorrelatedScheme;
+    use rand::rngs::StdRng;
+    use skewsearch_datagen::{correlated_query, Dataset};
+
+    fn small_setup() -> (Dataset, BernoulliProfile, StdRng) {
+        let profile = BernoulliProfile::two_block(600, 0.2, 0.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let ds = Dataset::generate(&profile, 300, &mut rng);
+        (ds, profile, rng)
+    }
+
+    fn build_correlated(
+        ds: &Dataset,
+        profile: &BernoulliProfile,
+        alpha: f64,
+        reps: usize,
+        rng: &mut StdRng,
+    ) -> LsfIndex<CorrelatedScheme> {
+        let scheme = CorrelatedScheme::new(alpha, ds.n(), profile);
+        LsfIndex::build(
+            ds.vectors().to_vec(),
+            profile.clone(),
+            scheme,
+            alpha / 1.3,
+            IndexOptions {
+                repetitions: Repetitions::Fixed(reps),
+                ..IndexOptions::default()
+            },
+            rng,
+        )
+    }
+
+    #[test]
+    fn repetitions_resolve() {
+        assert_eq!(Repetitions::Fixed(5).resolve(10), 5);
+        assert_eq!(Repetitions::Fixed(0).resolve(10), 1);
+        let auto = Repetitions::Auto { factor: 1.0 }.resolve(1000);
+        assert_eq!(auto, (1000f64).ln().ceil() as usize);
+    }
+
+    #[test]
+    fn finds_planted_correlated_vector() {
+        let (ds, profile, mut rng) = small_setup();
+        let alpha = 0.8;
+        let index = build_correlated(&ds, &profile, alpha, 8, &mut rng);
+        let mut found = 0;
+        let trials = 40;
+        for t in 0..trials {
+            let target = t % ds.n();
+            let q = correlated_query(ds.vector(target), &profile, alpha, &mut rng);
+            if let Some(m) = index.search(&q) {
+                // Any hit must clear the threshold; usually it's the target.
+                assert!(m.similarity >= index.threshold());
+                if m.id == target {
+                    found += 1;
+                }
+            }
+        }
+        assert!(found >= trials * 3 / 4, "found {found}/{trials}");
+    }
+
+    #[test]
+    fn search_never_returns_below_threshold() {
+        let (ds, profile, mut rng) = small_setup();
+        let index = build_correlated(&ds, &profile, 0.7, 4, &mut rng);
+        let sampler = skewsearch_datagen::VectorSampler::new(&profile);
+        for _ in 0..30 {
+            let q = sampler.sample(&mut rng);
+            if let Some(m) = index.search(&q) {
+                assert!(m.similarity >= index.threshold());
+            }
+        }
+    }
+
+    #[test]
+    fn search_all_is_deduplicated_and_verified() {
+        let (ds, profile, mut rng) = small_setup();
+        let alpha = 0.85;
+        let index = build_correlated(&ds, &profile, alpha, 8, &mut rng);
+        let q = correlated_query(ds.vector(7), &profile, alpha, &mut rng);
+        let all = index.search_all(&q);
+        let mut ids: Vec<usize> = all.iter().map(|m| m.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate ids in search_all");
+        for m in &all {
+            assert!(m.similarity >= index.threshold());
+        }
+    }
+
+    #[test]
+    fn build_stats_are_populated() {
+        let (ds, profile, mut rng) = small_setup();
+        let index = build_correlated(&ds, &profile, 0.7, 3, &mut rng);
+        let st = index.build_stats();
+        assert_eq!(st.repetitions, 3);
+        assert!(st.total_filters > 0);
+        assert!(st.distinct_buckets > 0);
+        assert!(st.max_bucket >= 1);
+        assert!(st.avg_filters_per_vector(ds.n()) > 0.0);
+    }
+
+    #[test]
+    fn query_stats_track_probing() {
+        let (ds, profile, mut rng) = small_setup();
+        let alpha = 0.8;
+        let index = build_correlated(&ds, &profile, alpha, 6, &mut rng);
+        let q = correlated_query(ds.vector(3), &profile, alpha, &mut rng);
+        let (hit, stats) = index.search_with_stats(&q);
+        assert!(stats.repetitions_probed >= 1);
+        assert!(stats.filters > 0);
+        if hit.is_some() {
+            assert!(stats.verified >= 1);
+            // Early exit: should not have probed every repetition unless the
+            // hit came late.
+            assert!(stats.repetitions_probed <= 6);
+        }
+    }
+
+    #[test]
+    fn distinct_candidates_contains_search_hits() {
+        let (ds, profile, mut rng) = small_setup();
+        let alpha = 0.85;
+        let index = build_correlated(&ds, &profile, alpha, 6, &mut rng);
+        let q = correlated_query(ds.vector(11), &profile, alpha, &mut rng);
+        let (cands, _) = index.distinct_candidates(&q);
+        if let Some(m) = index.search(&q) {
+            assert!(cands.contains(&(m.id as u32)));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let profile = BernoulliProfile::two_block(400, 0.2, 0.02).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(99);
+        let ds1 = Dataset::generate(&profile, 150, &mut rng1);
+        let idx1 = build_correlated(&ds1, &profile, 0.8, 4, &mut rng1);
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let ds2 = Dataset::generate(&profile, 150, &mut rng2);
+        let idx2 = build_correlated(&ds2, &profile, 0.8, 4, &mut rng2);
+        let q = correlated_query(ds1.vector(0), &profile, 0.8, &mut rng1);
+        let (c1, s1) = idx1.distinct_candidates(&q);
+        let (c2, s2) = idx2.distinct_candidates(&q);
+        assert_eq!(c1, c2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        let profile = BernoulliProfile::two_block(500, 0.2, 0.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(777);
+        let ds = Dataset::generate(&profile, 120, &mut rng);
+        let build = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(31337);
+            let scheme = CorrelatedScheme::new(0.8, ds.n(), &profile);
+            LsfIndex::build(
+                ds.vectors().to_vec(),
+                profile.clone(),
+                scheme,
+                0.8 / 1.3,
+                IndexOptions {
+                    repetitions: Repetitions::Fixed(3),
+                    build_threads: threads,
+                    ..IndexOptions::default()
+                },
+                &mut rng,
+            )
+        };
+        let seq = build(1);
+        for threads in [2, 4, 7] {
+            let par = build(threads);
+            // Identical stats and identical probing behaviour on queries.
+            assert_eq!(
+                seq.build_stats().total_filters,
+                par.build_stats().total_filters,
+                "threads={threads}"
+            );
+            assert_eq!(
+                seq.build_stats().distinct_buckets,
+                par.build_stats().distinct_buckets
+            );
+            let mut rng = StdRng::seed_from_u64(1);
+            for t in 0..10 {
+                let q = correlated_query(ds.vector(t), &profile, 0.8, &mut rng);
+                assert_eq!(
+                    seq.distinct_candidates(&q).0,
+                    par.distinct_candidates(&q).0,
+                    "threads={threads} query={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_finds_nothing() {
+        let profile = BernoulliProfile::uniform(50, 0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let scheme = CorrelatedScheme::new(0.5, 2, &profile);
+        let index: LsfIndex<CorrelatedScheme> = LsfIndex::build(
+            vec![],
+            profile.clone(),
+            scheme,
+            0.5,
+            IndexOptions::default(),
+            &mut rng,
+        );
+        assert!(index.is_empty());
+        let q = SparseVec::from_unsorted(vec![1, 2, 3]);
+        assert!(index.search(&q).is_none());
+        assert!(index.search_all(&q).is_empty());
+    }
+}

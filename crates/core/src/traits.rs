@@ -1,0 +1,104 @@
+//! The public search interface shared by the paper's structure and all
+//! baselines.
+
+use skewsearch_sets::SparseVec;
+
+/// A verified search result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Match {
+    /// Index of the matching vector in the indexed dataset.
+    pub id: usize,
+    /// Its Braun-Blanquet similarity to the query.
+    pub similarity: f64,
+}
+
+/// Common interface for set-similarity-search structures (the paper's
+/// indexes and every baseline implement this, so experiments and joins are
+/// generic over the structure).
+///
+/// All structures verify candidates exactly, so a returned [`Match`] always
+/// satisfies `similarity ≥ threshold()`; randomized structures may *miss*
+/// matches with the failure probability of their analysis.
+pub trait SetSimilaritySearch {
+    /// Returns some vector with Braun-Blanquet similarity at least
+    /// [`SetSimilaritySearch::threshold`] to `q`, if the structure finds one.
+    ///
+    /// Stops at the first verified hit (the paper's query procedure: "If we
+    /// find a sufficiently close x we return it").
+    fn search(&self, q: &SparseVec) -> Option<Match>;
+
+    /// Returns the *highest-similarity* verified candidate at or above the
+    /// threshold (useful when several vectors pass).
+    fn search_best(&self, q: &SparseVec) -> Option<Match> {
+        self.search_all(q)
+            .into_iter()
+            .max_by(|a, b| a.similarity.partial_cmp(&b.similarity).unwrap())
+    }
+
+    /// All distinct vectors the structure can verify at or above the
+    /// threshold (no order guarantee).
+    fn search_all(&self, q: &SparseVec) -> Vec<Match>;
+
+    /// The verification threshold `b₁`.
+    fn threshold(&self) -> f64;
+
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// True iff no vectors are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal trait object: a brute-force stub over two fixed vectors used
+    /// to exercise the default method implementations.
+    struct TwoVec {
+        data: Vec<SparseVec>,
+        t: f64,
+    }
+
+    impl SetSimilaritySearch for TwoVec {
+        fn search(&self, q: &SparseVec) -> Option<Match> {
+            self.search_all(q).into_iter().next()
+        }
+        fn search_all(&self, q: &SparseVec) -> Vec<Match> {
+            self.data
+                .iter()
+                .enumerate()
+                .map(|(id, x)| Match {
+                    id,
+                    similarity: skewsearch_sets::similarity::braun_blanquet(x, q),
+                })
+                .filter(|m| m.similarity >= self.t)
+                .collect()
+        }
+        fn threshold(&self) -> f64 {
+            self.t
+        }
+        fn len(&self) -> usize {
+            self.data.len()
+        }
+    }
+
+    #[test]
+    fn search_best_picks_maximum() {
+        let s = TwoVec {
+            data: vec![
+                SparseVec::from_unsorted(vec![1, 2, 3, 4]),
+                SparseVec::from_unsorted(vec![1, 2, 3]),
+            ],
+            t: 0.1,
+        };
+        let q = SparseVec::from_unsorted(vec![1, 2, 3]);
+        let best = s.search_best(&q).unwrap();
+        assert_eq!(best.id, 1);
+        assert_eq!(best.similarity, 1.0);
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the path engine and schemes.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch_core::{
+    enumerate_filters, AdversarialScheme, ChosenPathScheme, CorrelatedScheme, ThresholdScheme,
+    DEFAULT_NODE_BUDGET,
+};
+use skewsearch_datagen::BernoulliProfile;
+use skewsearch_hashing::{PathHasherStack, PathKey};
+use skewsearch_sets::SparseVec;
+
+fn arb_profile_and_vector() -> impl Strategy<Value = (BernoulliProfile, SparseVec)> {
+    (
+        prop::collection::vec(0.02f64..0.45, 20..100),
+        prop::collection::vec(any::<bool>(), 20..100),
+    )
+        .prop_map(|(ps, mask)| {
+            let d = ps.len();
+            let profile = BernoulliProfile::new(ps).unwrap();
+            let dims = mask
+                .into_iter()
+                .take(d)
+                .enumerate()
+                .filter_map(|(i, b)| b.then_some(i as u32))
+                .collect();
+            (profile, SparseVec::from_sorted(dims))
+        })
+}
+
+fn run<S: ThresholdScheme>(
+    x: &SparseVec,
+    profile: &BernoulliProfile,
+    scheme: &S,
+    stack: &PathHasherStack,
+) -> Vec<PathKey> {
+    let mut out = Vec::new();
+    enumerate_filters(x, profile, scheme, stack, DEFAULT_NODE_BUDGET, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn enumeration_is_a_function_of_vector_and_stack(
+        (profile, x) in arb_profile_and_vector(),
+        seed in any::<u64>(),
+    ) {
+        let scheme = CorrelatedScheme::new(0.6, 256, &profile);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stack = PathHasherStack::sample(&mut rng, scheme.depth_bound());
+        let a = run(&x, &profile, &scheme, &stack);
+        let b = run(&x, &profile, &scheme, &stack);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn correlated_filters_are_monotone_in_the_vector(
+        (profile, x) in arb_profile_and_vector(),
+        seed in any::<u64>(),
+        extra in prop::collection::vec(any::<u16>(), 1..5),
+    ) {
+        // CorrelatedScheme thresholds depend only on (depth, dim), so adding
+        // set bits can only add paths: x ⊆ y ⇒ F(x) ⊆ F(y). The property
+        // holds for *complete* enumerations; a budget truncation cuts the two
+        // traversals at different frontiers, so truncated runs are skipped
+        // (they are the explicitly-documented graceful-degradation mode).
+        let scheme = CorrelatedScheme::new(0.6, 256, &profile);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stack = PathHasherStack::sample(&mut rng, scheme.depth_bound());
+        let mut ydims = x.dims().to_vec();
+        for e in extra {
+            ydims.push(e as u32 % profile.d() as u32);
+        }
+        let y = SparseVec::from_unsorted(ydims);
+        let mut fx = Vec::new();
+        let sx = enumerate_filters(&x, &profile, &scheme, &stack, DEFAULT_NODE_BUDGET, &mut fx);
+        let mut fy = Vec::new();
+        let sy = enumerate_filters(&y, &profile, &scheme, &stack, DEFAULT_NODE_BUDGET, &mut fy);
+        prop_assume!(!sx.truncated && !sy.truncated);
+        let fy_set: std::collections::HashSet<_> = fy.into_iter().collect();
+        for k in fx {
+            prop_assert!(fy_set.contains(&k), "filter of x missing from F(y)");
+        }
+    }
+
+    #[test]
+    fn disjoint_vectors_share_no_filters(
+        ps in prop::collection::vec(0.05f64..0.4, 40..80),
+        seed in any::<u64>(),
+        cut_frac in 0.3f64..0.7,
+    ) {
+        let d = ps.len();
+        let profile = BernoulliProfile::new(ps).unwrap();
+        let cut = ((d as f64 * cut_frac) as u32).clamp(1, d as u32 - 1);
+        let a = SparseVec::from_sorted((0..cut).collect());
+        let b = SparseVec::from_sorted((cut..d as u32).collect());
+        let scheme = AdversarialScheme::new(0.5, 128, &profile);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stack = PathHasherStack::sample(&mut rng, scheme.depth_bound());
+        let fa: std::collections::HashSet<_> =
+            run(&a, &profile, &scheme, &stack).into_iter().collect();
+        let fb = run(&b, &profile, &scheme, &stack);
+        for k in fb {
+            prop_assert!(!fa.contains(&k));
+        }
+    }
+
+    #[test]
+    fn budget_zero_emits_nothing_and_truncates(
+        (profile, x) in arb_profile_and_vector(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(!x.is_empty());
+        let scheme = CorrelatedScheme::new(0.6, 256, &profile);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stack = PathHasherStack::sample(&mut rng, scheme.depth_bound());
+        let mut out = Vec::new();
+        let stats = enumerate_filters(&x, &profile, &scheme, &stack, 0, &mut out);
+        prop_assert!(out.is_empty());
+        prop_assert!(stats.truncated);
+    }
+
+    #[test]
+    fn chosen_path_depth_matches_formula(n in 4usize..100_000, b2 in 0.05f64..0.9) {
+        let b1 = (b2 + 1.0) / 2.0; // any b1 in (b2, 1)
+        let scheme = ChosenPathScheme::new(b1, b2, n);
+        let expect = ((n as f64).ln() / (1.0 / b2).ln()).ceil().max(1.0) as usize;
+        prop_assert_eq!(scheme.k(), expect);
+    }
+
+    #[test]
+    fn scheme_thresholds_are_finite_and_nonnegative(
+        (profile, x) in arb_profile_and_vector(),
+        depth in 0usize..10,
+    ) {
+        let adv = AdversarialScheme::new(0.5, 256, &profile);
+        let cor = CorrelatedScheme::new(0.6, 256, &profile);
+        for i in x.iter() {
+            for s in [adv.threshold(x.weight(), depth, i), cor.threshold(x.weight(), depth, i)] {
+                prop_assert!(s.is_finite());
+                prop_assert!(s >= 0.0);
+                prop_assert!(s <= 1.0, "schemes clamp to [0,1]");
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! α-correlated query generation (Definition 3 of the paper).
+//!
+//! `q ~ D_α(x)`: for each coordinate `i` independently, `q_i = x_i` with
+//! probability `α` and `q_i ~ Bernoulli(p_i)` with probability `1 − α`.
+//! Marginally `q ~ D`, and each coordinate pair `(x_i, q_i)` has Pearson
+//! correlation `α`.
+
+use crate::profile::BernoulliProfile;
+use crate::sampler::VectorSampler;
+use rand::{Rng, RngExt};
+use skewsearch_sets::SparseVec;
+
+/// Draws `q ~ D_α(x)`.
+///
+/// Implementation note: the definition says "flip a coin per coordinate";
+/// materializing `d` coins is `O(d)`. Observe that `q_i` can be 1 only when
+/// `x_i = 1` (coin = copy) or when the independent noise draw `n_i = 1`
+/// (coin = noise), so it suffices to draw the noise vector `n ~ D` with the
+/// skip sampler and resolve coins only on `x ∪ n`:
+///
+/// * `i ∈ x ∩ n`: `q_i = 1` regardless of the coin;
+/// * `i ∈ x \ n`: `q_i = 1` iff the coin chose *copy* (probability `α`);
+/// * `i ∈ n \ x`: `q_i = 1` iff the coin chose *noise* (probability `1 − α`).
+///
+/// This is an exact sampler for `D_α(x)` in expected time `O(|x| + E|n|)`.
+pub fn correlated_query<R: Rng + ?Sized>(
+    x: &SparseVec,
+    profile: &BernoulliProfile,
+    alpha: f64,
+    rng: &mut R,
+) -> SparseVec {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0,1]");
+    let sampler = VectorSampler::new(profile);
+    correlated_query_with(x, &sampler, alpha, rng)
+}
+
+/// Same as [`correlated_query`] but reuses a prebuilt sampler (the run
+/// decomposition is profile-dependent and worth amortizing across queries).
+pub fn correlated_query_with<R: Rng + ?Sized>(
+    x: &SparseVec,
+    sampler: &VectorSampler,
+    alpha: f64,
+    rng: &mut R,
+) -> SparseVec {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0,1]");
+    let noise = sampler.sample(rng);
+    let mut dims = Vec::with_capacity(x.weight().max(noise.weight()));
+    let xd = x.dims();
+    let nd = noise.dims();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < xd.len() || j < nd.len() {
+        let xi = xd.get(i).copied();
+        let nj = nd.get(j).copied();
+        match (xi, nj) {
+            (Some(a), Some(b)) if a == b => {
+                dims.push(a);
+                i += 1;
+                j += 1;
+            }
+            (Some(a), b) if b.is_none() || a < b.unwrap() => {
+                // i ∈ x \ n: kept iff the coin copies x.
+                if rng.random::<f64>() < alpha {
+                    dims.push(a);
+                }
+                i += 1;
+            }
+            (_, Some(b)) => {
+                // i ∈ n \ x: kept iff the coin picks noise.
+                if rng.random::<f64>() >= alpha {
+                    dims.push(b);
+                }
+                j += 1;
+            }
+            _ => unreachable!("loop condition guarantees one side present"),
+        }
+    }
+    SparseVec::from_sorted(dims)
+}
+
+/// Draws a data vector `x ~ D` and a query `q ~ D_α(x)` in one call.
+pub fn correlated_pair<R: Rng + ?Sized>(
+    profile: &BernoulliProfile,
+    alpha: f64,
+    rng: &mut R,
+) -> (SparseVec, SparseVec) {
+    let sampler = VectorSampler::new(profile);
+    let x = sampler.sample(rng);
+    let q = correlated_query_with(&x, &sampler, alpha, rng);
+    (x, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use skewsearch_sets::similarity;
+
+    #[test]
+    fn alpha_one_copies_x_exactly() {
+        let profile = BernoulliProfile::uniform(200, 0.2).unwrap();
+        let sampler = VectorSampler::new(&profile);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = sampler.sample(&mut rng);
+        let q = correlated_query(&x, &profile, 1.0, &mut rng);
+        assert_eq!(q, x);
+    }
+
+    #[test]
+    fn alpha_zero_is_independent_of_x() {
+        // With alpha = 0, E[B(x, q)] should match two independent draws.
+        let profile = BernoulliProfile::uniform(400, 0.25).unwrap();
+        let sampler = VectorSampler::new(&profile);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 400;
+        let mut s_corr = 0.0;
+        let mut s_indep = 0.0;
+        for _ in 0..trials {
+            let x = sampler.sample(&mut rng);
+            let q = correlated_query(&x, &profile, 0.0, &mut rng);
+            let z = sampler.sample(&mut rng);
+            s_corr += similarity::braun_blanquet(&x, &q);
+            s_indep += similarity::braun_blanquet(&x, &z);
+        }
+        let (a, b) = (s_corr / trials as f64, s_indep / trials as f64);
+        assert!((a - b).abs() < 0.02, "corr={a} indep={b}");
+    }
+
+    #[test]
+    fn marginal_of_q_is_d() {
+        // Pr[q_i = 1] must equal p_i for every i (Definition 3 remark).
+        let profile = BernoulliProfile::new(vec![0.5, 0.2, 0.05, 0.4]).unwrap();
+        let sampler = VectorSampler::new(&profile);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 30_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..trials {
+            let x = sampler.sample(&mut rng);
+            let q = correlated_query(&x, &profile, 0.6, &mut rng);
+            for i in q.iter() {
+                counts[i as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            let p = profile.p(i as u32);
+            let sigma = (p * (1.0 - p) / trials as f64).sqrt();
+            assert!(
+                (emp - p).abs() < 5.0 * sigma,
+                "dim {i}: emp={emp} expected={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_coordinate_correlation_is_alpha() {
+        // Empirical Pearson correlation of (x_i, q_i) across trials ≈ alpha.
+        let alpha = 0.65;
+        let profile = BernoulliProfile::new(vec![0.3; 8]).unwrap();
+        let sampler = VectorSampler::new(&profile);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 30_000;
+        let dim = 5u32;
+        let (mut sx, mut sq, mut sxq) = (0f64, 0f64, 0f64);
+        for _ in 0..trials {
+            let x = sampler.sample(&mut rng);
+            let q = correlated_query(&x, &profile, alpha, &mut rng);
+            let xv = x.contains(dim) as u32 as f64;
+            let qv = q.contains(dim) as u32 as f64;
+            sx += xv;
+            sq += qv;
+            sxq += xv * qv;
+        }
+        let n = trials as f64;
+        let (mx, mq) = (sx / n, sq / n);
+        let cov = sxq / n - mx * mq;
+        let corr = cov / ((mx * (1.0 - mx)).sqrt() * (mq * (1.0 - mq)).sqrt());
+        assert!((corr - alpha).abs() < 0.03, "corr={corr}");
+    }
+
+    #[test]
+    fn expected_intersection_matches_formula() {
+        // E|x ∩ q| = Σ p_i (α + (1−α)p_i)   (paper's Lemma 10 computation).
+        let profile = BernoulliProfile::two_block(600, 0.3, 0.02).unwrap();
+        let alpha = 0.5;
+        let expect: f64 = profile
+            .ps()
+            .iter()
+            .map(|&p| p * (alpha + (1.0 - alpha) * p))
+            .sum();
+        let sampler = VectorSampler::new(&profile);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 3000;
+        let mean: f64 = (0..trials)
+            .map(|_| {
+                let x = sampler.sample(&mut rng);
+                let q = correlated_query(&x, &profile, alpha, &mut rng);
+                x.intersection_len(&q) as f64
+            })
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            (mean - expect).abs() < 0.5,
+            "mean={mean} expect={expect}"
+        );
+    }
+
+    #[test]
+    fn correlated_pair_returns_correlated_sets() {
+        let profile = BernoulliProfile::uniform(500, 0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let (x, q) = correlated_pair(&profile, 0.8, &mut rng);
+        // At alpha=0.8, similarity should be far above the independent ~0.2.
+        assert!(similarity::braun_blanquet(&x, &q) > 0.5);
+    }
+}

@@ -1,0 +1,192 @@
+//! Sampled datasets `S ~ D^n` and their empirical statistics.
+
+use crate::profile::BernoulliProfile;
+use crate::sampler::VectorSampler;
+use rand::Rng;
+use skewsearch_sets::SparseVec;
+
+/// A collection of sparse vectors over universe `[d]`, usually (but not
+/// necessarily) sampled from a [`BernoulliProfile`].
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    vectors: Vec<SparseVec>,
+    d: usize,
+}
+
+impl Dataset {
+    /// Samples `n` vectors independently from `profile`.
+    pub fn generate<R: Rng + ?Sized>(
+        profile: &BernoulliProfile,
+        n: usize,
+        rng: &mut R,
+    ) -> Self {
+        let sampler = VectorSampler::new(profile);
+        let vectors = (0..n).map(|_| sampler.sample(rng)).collect();
+        Self {
+            vectors,
+            d: profile.d(),
+        }
+    }
+
+    /// Wraps existing vectors. `d` must exceed every dimension id.
+    ///
+    /// # Panics
+    /// Panics if any vector references a dimension `≥ d`.
+    pub fn from_vectors(vectors: Vec<SparseVec>, d: usize) -> Self {
+        for (idx, v) in vectors.iter().enumerate() {
+            if let Some(&max) = v.dims().last() {
+                assert!(
+                    (max as usize) < d,
+                    "vector {idx} references dim {max} >= d = {d}"
+                );
+            }
+        }
+        Self { vectors, d }
+    }
+
+    /// Number of vectors `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Universe size `d`.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The `i`-th vector.
+    #[inline]
+    pub fn vector(&self, i: usize) -> &SparseVec {
+        &self.vectors[i]
+    }
+
+    /// All vectors.
+    #[inline]
+    pub fn vectors(&self) -> &[SparseVec] {
+        &self.vectors
+    }
+
+    /// Mean Hamming weight.
+    pub fn avg_weight(&self) -> f64 {
+        if self.vectors.is_empty() {
+            return 0.0;
+        }
+        self.vectors.iter().map(|v| v.weight()).sum::<usize>() as f64 / self.n() as f64
+    }
+
+    /// Empirical item frequencies `p̂_j = |{x ∈ S : x_j = 1}| / n` (length `d`).
+    pub fn empirical_frequencies(&self) -> Vec<f64> {
+        let mut counts = vec![0u32; self.d];
+        for v in &self.vectors {
+            for i in v.iter() {
+                counts[i as usize] += 1;
+            }
+        }
+        let n = self.n().max(1) as f64;
+        counts.into_iter().map(|c| c as f64 / n).collect()
+    }
+
+    /// Empirical frequencies sorted in decreasing order — the `p_j` ranking
+    /// used by Figure 2 (dimension identities are discarded).
+    pub fn sorted_frequencies(&self) -> Vec<f64> {
+        let mut f = self.empirical_frequencies();
+        f.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        f
+    }
+
+    /// Estimates the generating [`BernoulliProfile`] from this dataset by
+    /// occurrence counting with Laplace smoothing — the §9 route to dropping
+    /// the known-probabilities assumption. See
+    /// [`BernoulliProfile::estimate_from_counts`].
+    pub fn estimate_profile(&self, smoothing: f64) -> BernoulliProfile {
+        let mut counts = vec![0u32; self.d];
+        for v in &self.vectors {
+            for i in v.iter() {
+                counts[i as usize] += 1;
+            }
+        }
+        BernoulliProfile::estimate_from_counts(&counts, self.n().max(1), smoothing)
+            .expect("smoothed estimates are always valid probabilities")
+    }
+
+    /// Minimum and maximum Hamming weight across vectors (0,0 when empty).
+    pub fn weight_range(&self) -> (usize, usize) {
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for v in &self.vectors {
+            lo = lo.min(v.weight());
+            hi = hi.max(v.weight());
+        }
+        if self.vectors.is_empty() {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn generate_has_right_shape() {
+        let profile = BernoulliProfile::uniform(100, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = Dataset::generate(&profile, 50, &mut rng);
+        assert_eq!(ds.n(), 50);
+        assert_eq!(ds.d(), 100);
+        assert_eq!(ds.vectors().len(), 50);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_profile() {
+        let profile = BernoulliProfile::two_block(100, 0.4, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = Dataset::generate(&profile, 5000, &mut rng);
+        let f = ds.empirical_frequencies();
+        // Average over each block.
+        let head: f64 = f[..50].iter().sum::<f64>() / 50.0;
+        let tail: f64 = f[50..].iter().sum::<f64>() / 50.0;
+        assert!((head - 0.4).abs() < 0.01, "head={head}");
+        assert!((tail - 0.05).abs() < 0.005, "tail={tail}");
+    }
+
+    #[test]
+    fn sorted_frequencies_are_sorted() {
+        let profile = BernoulliProfile::new(vec![0.05, 0.4, 0.2]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = Dataset::generate(&profile, 2000, &mut rng);
+        let f = ds.sorted_frequencies();
+        assert!(f.windows(2).all(|w| w[0] >= w[1]));
+        assert!((f[0] - 0.4).abs() < 0.05);
+    }
+
+    #[test]
+    fn from_vectors_validates_universe() {
+        let v = vec![SparseVec::from_unsorted(vec![0, 5])];
+        let ds = Dataset::from_vectors(v, 6);
+        assert_eq!(ds.d(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "references dim")]
+    fn from_vectors_rejects_out_of_range() {
+        let v = vec![SparseVec::from_unsorted(vec![0, 9])];
+        let _ = Dataset::from_vectors(v, 6);
+    }
+
+    #[test]
+    fn weight_stats() {
+        let v = vec![
+            SparseVec::from_unsorted(vec![0]),
+            SparseVec::from_unsorted(vec![0, 1, 2]),
+        ];
+        let ds = Dataset::from_vectors(v, 3);
+        assert_eq!(ds.avg_weight(), 2.0);
+        assert_eq!(ds.weight_range(), (1, 3));
+    }
+}

@@ -1,0 +1,178 @@
+//! Exact computation of the paper's Table 1 independence ratios.
+//!
+//! §8 tests the model assumption
+//! `Pr_{x∈S}[∀_{j∈I} x_j = 1] ≤ ∏_{j∈I} p_j` by computing, for `I` uniform
+//! over size-`k` subsets of `[d]` (`k ∈ {2,3}`), the ratio
+//!
+//! ```text
+//!          E_I[ Pr_{x∈S}[∀_{j∈I} x_j = 1] ]
+//! ratio_k = --------------------------------
+//!          E_I[ ∏_{j∈I} p_j ]
+//! ```
+//!
+//! Both expectations admit **closed forms**, so no Monte Carlo sampling over
+//! `I` is needed:
+//!
+//! * numerator: the number of (vector, size-`k` subset of its 1s) incidences
+//!   is `Σ_{x∈S} C(|x|, k)`, hence
+//!   `E_I[Pr_x[…]] = (Σ_x C(|x|,k)) / (n · C(d,k))`;
+//! * denominator: `E_I[∏ p_j] = e_k(p_1,…,p_d) / C(d,k)` where `e_k` is the
+//!   `k`-th elementary symmetric polynomial, computed from power sums via
+//!   Newton's identities: `e₂ = (P₁² − P₂)/2`,
+//!   `e₃ = (P₁³ − 3P₁P₂ + 2P₃)/6` with `P_m = Σ p^m`.
+//!
+//! The `C(d,k)` factors cancel in the ratio.
+
+use crate::dataset::Dataset;
+
+/// The Table 1 quantities for one dataset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndependenceReport {
+    /// Ratio for `|I| = 2` (1.0 = perfectly independent; > 1 = positive
+    /// dependence).
+    pub ratio2: f64,
+    /// Ratio for `|I| = 3`.
+    pub ratio3: f64,
+    /// Numerator `Σ_x C(|x|,2) / n` (average number of 1-pairs per vector).
+    pub obs_pairs: f64,
+    /// Denominator `e₂(p)` (expected 1-pairs under independence).
+    pub pred_pairs: f64,
+    /// Numerator `Σ_x C(|x|,3) / n`.
+    pub obs_triples: f64,
+    /// Denominator `e₃(p)`.
+    pub pred_triples: f64,
+}
+
+/// Computes the independence ratios of a dataset exactly (see module docs).
+///
+/// Item probabilities are the dataset's empirical frequencies, matching the
+/// paper's §8 procedure. Degenerate denominators (fewer than `k` nonzero
+/// frequencies) yield a ratio of `NaN`.
+pub fn independence_ratios(ds: &Dataset) -> IndependenceReport {
+    let p = ds.empirical_frequencies();
+    let n = ds.n() as f64;
+
+    let p1: f64 = p.iter().sum();
+    let p2: f64 = p.iter().map(|v| v * v).sum();
+    let p3: f64 = p.iter().map(|v| v * v * v).sum();
+    let e2 = (p1 * p1 - p2) / 2.0;
+    let e3 = (p1 * p1 * p1 - 3.0 * p1 * p2 + 2.0 * p3) / 6.0;
+
+    let mut pairs = 0f64;
+    let mut triples = 0f64;
+    for v in ds.vectors() {
+        let w = v.weight() as f64;
+        pairs += w * (w - 1.0) / 2.0;
+        triples += w * (w - 1.0) * (w - 2.0) / 6.0;
+    }
+    let obs_pairs = pairs / n;
+    let obs_triples = triples / n;
+
+    IndependenceReport {
+        ratio2: obs_pairs / e2,
+        ratio3: obs_triples / e3,
+        obs_pairs,
+        pred_pairs: e2,
+        obs_triples,
+        pred_triples: e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BernoulliProfile;
+    use rand::{rngs::StdRng, SeedableRng};
+    use skewsearch_sets::SparseVec;
+
+    #[test]
+    fn independent_data_has_ratio_near_one() {
+        let profile = BernoulliProfile::two_block(400, 0.2, 0.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = Dataset::generate(&profile, 8000, &mut rng);
+        let r = independence_ratios(&ds);
+        assert!((r.ratio2 - 1.0).abs() < 0.05, "ratio2={}", r.ratio2);
+        assert!((r.ratio3 - 1.0).abs() < 0.15, "ratio3={}", r.ratio3);
+    }
+
+    #[test]
+    fn perfectly_dependent_data_has_large_ratio() {
+        // Every vector is identical: all mass concentrated on one set.
+        // Frequencies are 1 on those dims... use half the vectors set to make
+        // frequencies 0.5 and co-occurrence maximal.
+        let s = SparseVec::from_unsorted((0..10).collect());
+        let e = SparseVec::empty();
+        let mut vs = Vec::new();
+        for i in 0..1000 {
+            vs.push(if i % 2 == 0 { s.clone() } else { e.clone() });
+        }
+        let ds = Dataset::from_vectors(vs, 100);
+        let r = independence_ratios(&ds);
+        // p_j = 1/2 on 10 dims; independent prediction for pairs:
+        // e2 = C(10,2)/4; observed = C(10,2)/2 → ratio 2. Triples → ratio 4.
+        assert!((r.ratio2 - 2.0).abs() < 1e-9, "ratio2={}", r.ratio2);
+        assert!((r.ratio3 - 4.0).abs() < 1e-9, "ratio3={}", r.ratio3);
+    }
+
+    #[test]
+    fn closed_form_matches_brute_force_on_tiny_instance() {
+        // Brute-force E_I[obs] and E_I[pred] over all pairs on a tiny dataset.
+        let vs = vec![
+            SparseVec::from_unsorted(vec![0, 1, 2]),
+            SparseVec::from_unsorted(vec![1, 2]),
+            SparseVec::from_unsorted(vec![3]),
+            SparseVec::from_unsorted(vec![0, 3]),
+        ];
+        let ds = Dataset::from_vectors(vs, 4);
+        let p = ds.empirical_frequencies();
+        let n = ds.n() as f64;
+        let d = ds.d();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                let both = ds
+                    .vectors()
+                    .iter()
+                    .filter(|v| v.contains(i as u32) && v.contains(j as u32))
+                    .count() as f64;
+                num += both / n;
+                den += p[i] * p[j];
+            }
+        }
+        let r = independence_ratios(&ds);
+        assert!((r.obs_pairs - num).abs() < 1e-12);
+        assert!((r.pred_pairs - den).abs() < 1e-12);
+        assert!((r.ratio2 - num / den).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triple_closed_form_matches_brute_force() {
+        let vs = vec![
+            SparseVec::from_unsorted(vec![0, 1, 2, 3]),
+            SparseVec::from_unsorted(vec![0, 1, 2]),
+            SparseVec::from_unsorted(vec![2, 3]),
+        ];
+        let ds = Dataset::from_vectors(vs, 4);
+        let p = ds.empirical_frequencies();
+        let n = ds.n() as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                for k in (j + 1)..4 {
+                    let all = ds
+                        .vectors()
+                        .iter()
+                        .filter(|v| v.contains(i) && v.contains(j) && v.contains(k))
+                        .count() as f64;
+                    num += all / n;
+                    den += p[i as usize] * p[j as usize] * p[k as usize];
+                }
+            }
+        }
+        let r = independence_ratios(&ds);
+        assert!((r.obs_triples - num).abs() < 1e-12);
+        assert!((r.pred_triples - den).abs() < 1e-12);
+    }
+}

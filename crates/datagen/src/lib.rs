@@ -1,0 +1,45 @@
+//! # skewsearch-datagen
+//!
+//! The data model of "Set Similarity Search for Skewed Data" (PODS 2018, §2),
+//! following Kirsch et al.: vectors `x ∈ {0,1}^d` with independent coordinates
+//! `Pr[x_i = 1] = p_i`, the item-level probabilities `p_1, …, p_d` known to
+//! the algorithm.
+//!
+//! Provides:
+//!
+//! * [`BernoulliProfile`] — the distribution `D[p_1, …, p_d]`, with the
+//!   paper's example profiles (uniform, two-block, harmonic §1, Zipf and
+//!   piecewise-Zipf §8) and derived quantities (`Σp`, `p̂_i = p_i(1−α)+α`, …);
+//! * [`VectorSampler`] — `O(|x|)`-expected-time sampling via geometric
+//!   skipping with per-run rejection (instead of `O(d)` per-coordinate coin
+//!   flips);
+//! * [`correlated_query`] — Definition 3: `q ~ D_α(x)`;
+//! * [`Dataset`] — a sampled collection `S ~ D^n` plus empirical statistics;
+//! * [`mixture`] — cluster-mixture sampling that *injects dependence between
+//!   coordinates* (the phenomenon measured by the paper's Table 1);
+//! * [`independence`] — **exact** computation of Table 1's independence
+//!   ratios via elementary symmetric polynomials;
+//! * [`mann`] — synthetic surrogates for the Mann et al. benchmark datasets
+//!   (Figure 2 / Table 1 workloads) plus a loader for the real data format;
+//! * [`skew`] — the frequency-plot transforms of Figure 2.
+
+#![warn(missing_docs)]
+
+pub mod correlated;
+pub mod dataset;
+pub mod independence;
+pub mod loader;
+pub mod mann;
+pub mod mixture;
+pub mod profile;
+pub mod sampler;
+pub mod skew;
+
+pub use correlated::{correlated_pair, correlated_query};
+pub use dataset::Dataset;
+pub use independence::{independence_ratios, IndependenceReport};
+pub use mann::{surrogate_catalog, DependenceLevel, SurrogateSpec};
+pub use mixture::ClusterMixture;
+pub use profile::{BernoulliProfile, ProfileError};
+pub use sampler::VectorSampler;
+pub use skew::FrequencyPlot;

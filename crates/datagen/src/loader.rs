@@ -1,0 +1,119 @@
+//! Loader/writer for the Mann et al. benchmark text format.
+//!
+//! The set-similarity benchmark of Mann, Augsten, Bouros distributes datasets
+//! as plain text: **one set per line, whitespace-separated non-negative
+//! integer tokens**. This loader lets the real datasets be dropped into every
+//! experiment that otherwise runs on the synthetic surrogates.
+
+use crate::dataset::Dataset;
+use skewsearch_sets::SparseVec;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Parses a transaction stream (one set per line of whitespace-separated
+/// integer tokens) into a [`Dataset`]. Empty lines become empty sets;
+/// duplicate tokens within a line are collapsed. The universe size is
+/// `max token + 1`.
+pub fn read_transactions<R: BufRead>(reader: R) -> io::Result<Dataset> {
+    let mut vectors = Vec::new();
+    let mut max_dim = 0u32;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let mut dims = Vec::new();
+        for tok in line.split_whitespace() {
+            let v: u32 = tok.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad token {tok:?}: {e}", lineno + 1),
+                )
+            })?;
+            max_dim = max_dim.max(v);
+            dims.push(v);
+        }
+        vectors.push(SparseVec::from_unsorted(dims));
+    }
+    let d = if vectors.iter().all(|v| v.is_empty()) {
+        1
+    } else {
+        max_dim as usize + 1
+    };
+    Ok(Dataset::from_vectors(vectors, d))
+}
+
+/// Loads a transaction file from disk (see [`read_transactions`]).
+pub fn load_transactions(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    read_transactions(io::BufReader::new(file))
+}
+
+/// Writes a dataset in the same format (round-trips with
+/// [`read_transactions`] up to universe-size inference).
+pub fn write_transactions<W: Write>(ds: &Dataset, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for v in ds.vectors() {
+        let mut first = true;
+        for i in v.iter() {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{i}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let input = "1 5 3\n\n2 2 7\n";
+        let ds = read_transactions(io::Cursor::new(input)).unwrap();
+        assert_eq!(ds.n(), 3);
+        assert_eq!(ds.d(), 8);
+        assert_eq!(ds.vector(0).dims(), &[1, 3, 5]);
+        assert!(ds.vector(1).is_empty());
+        assert_eq!(ds.vector(2).dims(), &[2, 7]); // dedup
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        let input = "1 x 3\n";
+        let err = read_transactions(io::Cursor::new(input)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_dataset() {
+        let ds = read_transactions(io::Cursor::new("")).unwrap();
+        assert_eq!(ds.n(), 0);
+        assert_eq!(ds.d(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let input = "0 1\n4\n\n2 3 5\n";
+        let ds = read_transactions(io::Cursor::new(input)).unwrap();
+        let mut buf = Vec::new();
+        write_transactions(&ds, &mut buf).unwrap();
+        let ds2 = read_transactions(io::Cursor::new(buf)).unwrap();
+        assert_eq!(ds2.n(), ds.n());
+        for i in 0..ds.n() {
+            assert_eq!(ds.vector(i), ds2.vector(i), "vector {i}");
+        }
+    }
+
+    #[test]
+    fn loads_from_disk() {
+        let path = std::env::temp_dir().join("skewsearch_loader_test.txt");
+        std::fs::write(&path, "10 20\n30\n").unwrap();
+        let ds = load_transactions(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ds.n(), 2);
+        assert_eq!(ds.d(), 31);
+    }
+}

@@ -1,0 +1,412 @@
+//! The item-level probability profile `D[p_1, …, p_d]` (§2 of the paper).
+
+use std::fmt;
+
+/// Error constructing a [`BernoulliProfile`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// A probability was outside `(0, 1)`.
+    ProbabilityOutOfRange {
+        /// Offending dimension.
+        dim: usize,
+        /// Offending value.
+        p: f64,
+    },
+    /// The profile has no dimensions.
+    Empty,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::ProbabilityOutOfRange { dim, p } => {
+                write!(f, "p_{dim} = {p} outside (0, 1)")
+            }
+            ProfileError::Empty => write!(f, "profile must have at least one dimension"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// The distribution `D[p_1, …, p_d]` over `{0,1}^d` with independent
+/// coordinates `Pr[x_i = 1] = p_i`.
+///
+/// The paper's model (§2) assumes every `p_i ≤ 1/2` (more generally bounded
+/// by a constant `M < 1`). We *validate* only `p_i ∈ (0, 1)` and expose
+/// [`BernoulliProfile::max_p`] so callers can check the model assumption
+/// appropriate to their theorem (`≤ 1/2` for the general model, `≤ α/2` for
+/// the correlated-query analysis of §6).
+#[derive(Clone, Debug)]
+pub struct BernoulliProfile {
+    ps: Vec<f64>,
+    /// Cached `Σ_i p_i` (the paper's `C log n`).
+    sum_p: f64,
+    /// Cached `Σ_i p_i²`.
+    sum_p_sq: f64,
+    /// Cached `log₂(1/p_i)` per dimension — the path-mass increments consumed
+    /// by the engine's stopping rule `∏ p ≤ 1/n ⇔ Σ log₂(1/p) ≥ log₂ n`.
+    log2_inv_p: Vec<f64>,
+}
+
+impl BernoulliProfile {
+    /// Builds a profile from explicit probabilities.
+    pub fn new(ps: Vec<f64>) -> Result<Self, ProfileError> {
+        if ps.is_empty() {
+            return Err(ProfileError::Empty);
+        }
+        for (dim, &p) in ps.iter().enumerate() {
+            if !(p > 0.0 && p < 1.0) {
+                return Err(ProfileError::ProbabilityOutOfRange { dim, p });
+            }
+        }
+        let sum_p = ps.iter().sum();
+        let sum_p_sq = ps.iter().map(|p| p * p).sum();
+        let log2_inv_p = ps.iter().map(|p| -p.log2()).collect();
+        Ok(Self {
+            ps,
+            sum_p,
+            sum_p_sq,
+            log2_inv_p,
+        })
+    }
+
+    /// All `d` dimensions share probability `p`: the no-skew baseline, on
+    /// which the paper's structure degenerates to Chosen Path.
+    pub fn uniform(d: usize, p: f64) -> Result<Self, ProfileError> {
+        Self::new(vec![p; d])
+    }
+
+    /// First half probability `pa`, second half `pb` — the two-type
+    /// distribution of the paper's §7 examples and Figure 1 (`pa = p`,
+    /// `pb = p/8` there).
+    pub fn two_block(d: usize, pa: f64, pb: f64) -> Result<Self, ProfileError> {
+        let half = d / 2;
+        Self::blocks(&[(half, pa), (d - half, pb)])
+    }
+
+    /// Arbitrary blocks `(count, p)`, concatenated in order.
+    pub fn blocks(blocks: &[(usize, f64)]) -> Result<Self, ProfileError> {
+        let mut ps = Vec::with_capacity(blocks.iter().map(|b| b.0).sum());
+        for &(count, p) in blocks {
+            ps.extend(std::iter::repeat_n(p, count));
+        }
+        Self::new(ps)
+    }
+
+    /// The harmonic distribution of the §1 motivating example:
+    /// `Pr[x_k = 1] = 1/k` for `k = 1, …, d`, clamped to `max_p` to respect
+    /// the model's bounded-probability assumption (the paper assumes
+    /// `p_i ≤ 1/2`; pass `0.5`).
+    pub fn harmonic(d: usize, max_p: f64) -> Result<Self, ProfileError> {
+        Self::new((1..=d).map(|k| (1.0 / k as f64).min(max_p)).collect())
+    }
+
+    /// Zipf profile `p_j ∝ 1/(j+1)^s`, scaled so the expected set size
+    /// `Σ p_j` equals `target_weight`, with every `p_j` clamped to `max_p`.
+    ///
+    /// The scale constant is found by monotone bisection because clamping
+    /// interacts with scaling (§8 notes real profiles look piecewise-Zipfian
+    /// with a clamped head).
+    pub fn zipf(
+        d: usize,
+        s: f64,
+        target_weight: f64,
+        max_p: f64,
+    ) -> Result<Self, ProfileError> {
+        let raw: Vec<f64> = (0..d).map(|j| (j as f64 + 1.0).powf(-s)).collect();
+        Self::scaled_to_weight(raw, target_weight, max_p)
+    }
+
+    /// Piecewise-Zipf profile: each segment `(count, s)` contributes `count`
+    /// dimensions with local exponent `s`, continuing the curve from the
+    /// previous segment; globally scaled to `target_weight` and clamped to
+    /// `max_p`. Models the "piecewise Zipfian" shapes of §8 / Figure 2.
+    pub fn piecewise_zipf(
+        segments: &[(usize, f64)],
+        target_weight: f64,
+        max_p: f64,
+    ) -> Result<Self, ProfileError> {
+        let mut raw = Vec::new();
+        let mut level = 1.0f64; // current curve height
+        let mut rank = 1.0f64; // global rank (continuous)
+        for &(count, s) in segments {
+            let start_rank = rank;
+            let start_level = level;
+            for k in 0..count {
+                let r = start_rank + k as f64;
+                // Continue the curve: level(r) = start_level * (start_rank/r)^s.
+                raw.push(start_level * (start_rank / r).powf(s));
+            }
+            rank += count as f64;
+            level = start_level * (start_rank / (rank - 1.0).max(start_rank)).powf(s);
+        }
+        Self::scaled_to_weight(raw, target_weight, max_p)
+    }
+
+    /// Scales a raw positive shape so that `Σ min(c·raw_j, max_p)` equals
+    /// `target_weight` (bisection on `c`), then builds the profile.
+    pub fn scaled_to_weight(
+        raw: Vec<f64>,
+        target_weight: f64,
+        max_p: f64,
+    ) -> Result<Self, ProfileError> {
+        assert!(target_weight > 0.0, "target weight must be positive");
+        assert!(max_p > 0.0 && max_p < 1.0, "max_p must lie in (0,1)");
+        assert!(
+            target_weight < max_p * raw.len() as f64,
+            "target weight {target_weight} unreachable with d={} and max_p={max_p}",
+            raw.len()
+        );
+        let weight_at = |c: f64| -> f64 { raw.iter().map(|&r| (c * r).min(max_p)).sum() };
+        // Bracket the scale.
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        while weight_at(hi) < target_weight {
+            hi *= 2.0;
+            assert!(hi.is_finite(), "scale search diverged");
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if weight_at(mid) < target_weight {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let c = 0.5 * (lo + hi);
+        let floor = 1e-12; // keep probabilities strictly positive
+        Self::new(raw.iter().map(|&r| (c * r).min(max_p).max(floor)).collect())
+    }
+
+    /// Number of dimensions `d`.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.ps.len()
+    }
+
+    /// `p_i`.
+    #[inline]
+    pub fn p(&self, i: u32) -> f64 {
+        self.ps[i as usize]
+    }
+
+    /// All probabilities.
+    #[inline]
+    pub fn ps(&self) -> &[f64] {
+        &self.ps
+    }
+
+    /// `Σ_i p_i` — the expected Hamming weight; the paper's `C log n`.
+    #[inline]
+    pub fn sum_p(&self) -> f64 {
+        self.sum_p
+    }
+
+    /// `Σ_i p_i²` — the expected intersection of two independent draws.
+    #[inline]
+    pub fn sum_p_sq(&self) -> f64 {
+        self.sum_p_sq
+    }
+
+    /// `log₂(1/p_i)` — the stopping-rule mass of dimension `i`.
+    #[inline]
+    pub fn log2_inv_p(&self, i: u32) -> f64 {
+        self.log2_inv_p[i as usize]
+    }
+
+    /// Largest probability in the profile.
+    pub fn max_p(&self) -> f64 {
+        self.ps.iter().copied().fold(f64::MIN, f64::max)
+    }
+
+    /// Smallest probability in the profile.
+    pub fn min_p(&self) -> f64 {
+        self.ps.iter().copied().fold(f64::MAX, f64::min)
+    }
+
+    /// The paper's constant `C` for a dataset of `n` points:
+    /// `Σ p_i = C log n` (natural log).
+    ///
+    /// Theorem 1 requires `C` "sufficiently large"; §6 additionally assumes
+    /// `Cα ≥ 15` (Lemma 11).
+    pub fn c_constant(&self, n: usize) -> f64 {
+        assert!(n >= 2, "need n >= 2");
+        self.sum_p / (n as f64).ln()
+    }
+
+    /// The conditional probabilities `p̂_i = Pr[x_i = 1 | q_i = 1]
+    /// = p_i(1−α) + α` used by the correlated-query scheme (§6).
+    pub fn phat(&self, alpha: f64) -> Vec<f64> {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0,1]");
+        self.ps.iter().map(|&p| p * (1.0 - alpha) + alpha).collect()
+    }
+
+    /// True iff probabilities are non-increasing in the dimension index —
+    /// the frequent-first ordering assumed by the §1 split construction and
+    /// by Figure 2's rank plots.
+    pub fn is_sorted_desc(&self) -> bool {
+        self.ps.windows(2).all(|w| w[0] >= w[1])
+    }
+
+    /// Estimates a profile from observed data by counting occurrences —
+    /// the paper's §9 "natural question": "one can estimate each p_i to very
+    /// high precision by counting the occurrences in the dataset itself,
+    /// leading to the same asymptotic bounds".
+    ///
+    /// Uses add-`smoothing` (Laplace) estimation
+    /// `p̂_i = (count_i + smoothing) / (n + 2·smoothing)` so unseen
+    /// dimensions stay strictly positive (a `p_i = 0` would break the
+    /// stopping-rule mass), clamped below `1` for the model's sake.
+    /// `smoothing = 0.5` (Jeffreys) is a good default.
+    ///
+    /// The `estimated-profile` integration test verifies that an index built
+    /// from such an estimate matches the recall of one built from the true
+    /// profile.
+    pub fn estimate_from_counts(
+        counts: &[u32],
+        n: usize,
+        smoothing: f64,
+    ) -> Result<Self, ProfileError> {
+        assert!(n > 0, "need at least one observation");
+        assert!(smoothing > 0.0, "smoothing must be positive to keep p > 0");
+        let denom = n as f64 + 2.0 * smoothing;
+        Self::new(
+            counts
+                .iter()
+                .map(|&c| ((c as f64 + smoothing) / denom).min(1.0 - 1e-12))
+                .collect(),
+        )
+    }
+
+    /// A copy of the profile with dimensions re-ordered by decreasing
+    /// probability, together with the permutation `new_dim -> old_dim`.
+    pub fn sorted_desc(&self) -> (Self, Vec<u32>) {
+        let mut order: Vec<u32> = (0..self.d() as u32).collect();
+        order.sort_by(|&a, &b| {
+            self.ps[b as usize]
+                .partial_cmp(&self.ps[a as usize])
+                .unwrap()
+        });
+        let ps = order.iter().map(|&i| self.ps[i as usize]).collect();
+        (
+            Self::new(ps).expect("permutation preserves validity"),
+            order,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_probabilities() {
+        assert!(BernoulliProfile::new(vec![]).is_err());
+        assert!(BernoulliProfile::new(vec![0.0]).is_err());
+        assert!(BernoulliProfile::new(vec![1.0]).is_err());
+        assert!(BernoulliProfile::new(vec![0.5, -0.1]).is_err());
+        assert!(BernoulliProfile::new(vec![0.5, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn uniform_profile_sums() {
+        let p = BernoulliProfile::uniform(100, 0.25).unwrap();
+        assert_eq!(p.d(), 100);
+        assert!((p.sum_p() - 25.0).abs() < 1e-9);
+        assert!((p.sum_p_sq() - 6.25).abs() < 1e-9);
+        assert!(p.is_sorted_desc());
+    }
+
+    #[test]
+    fn two_block_layout() {
+        let p = BernoulliProfile::two_block(10, 0.4, 0.05).unwrap();
+        assert_eq!(p.p(0), 0.4);
+        assert_eq!(p.p(4), 0.4);
+        assert_eq!(p.p(5), 0.05);
+        assert_eq!(p.p(9), 0.05);
+        assert!((p.sum_p() - (5.0 * 0.4 + 5.0 * 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_block_odd_dimension() {
+        let p = BernoulliProfile::two_block(7, 0.4, 0.05).unwrap();
+        assert_eq!(p.d(), 7);
+        assert_eq!(p.p(2), 0.4);
+        assert_eq!(p.p(3), 0.05);
+    }
+
+    #[test]
+    fn harmonic_matches_motivating_example() {
+        let p = BernoulliProfile::harmonic(1000, 0.5).unwrap();
+        assert_eq!(p.p(0), 0.5); // 1/1 clamped
+        assert_eq!(p.p(1), 0.5); // 1/2
+        assert!((p.p(2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p.p(999) - 1.0 / 1000.0).abs() < 1e-15);
+        // Σ 1/k ≈ ln d + γ; the two clamped entries shift it by ~0.5.
+        let expect = (1000f64).ln() + 0.5772 - 0.5;
+        assert!((p.sum_p() - expect).abs() < 0.1, "sum={}", p.sum_p());
+        assert!(p.is_sorted_desc());
+    }
+
+    #[test]
+    fn zipf_hits_target_weight() {
+        let p = BernoulliProfile::zipf(10_000, 1.0, 12.0, 0.5).unwrap();
+        assert!((p.sum_p() - 12.0).abs() < 1e-6);
+        assert!(p.max_p() <= 0.5);
+        assert!(p.is_sorted_desc());
+    }
+
+    #[test]
+    fn piecewise_zipf_is_continuous_and_scaled() {
+        let p =
+            BernoulliProfile::piecewise_zipf(&[(100, 0.5), (900, 1.5)], 8.0, 0.5).unwrap();
+        assert!((p.sum_p() - 8.0).abs() < 1e-6);
+        assert!(p.is_sorted_desc(), "piecewise curve must be non-increasing");
+        // Local log-log slope ≈ -s within each segment (measured away from
+        // any clamped head entries and from the segment boundary).
+        let slope = |j0: u32, j1: u32| {
+            (p.p(j1) / p.p(j0)).ln() / ((j1 as f64 + 1.0) / (j0 as f64 + 1.0)).ln()
+        };
+        let head_slope = slope(50, 80);
+        let tail_slope = slope(400, 800);
+        assert!((head_slope + 0.5).abs() < 0.05, "head={head_slope}");
+        assert!((tail_slope + 1.5).abs() < 0.05, "tail={tail_slope}");
+    }
+
+    #[test]
+    fn log2_inv_p_cached_correctly() {
+        let p = BernoulliProfile::new(vec![0.5, 0.25, 0.125]).unwrap();
+        assert!((p.log2_inv_p(0) - 1.0).abs() < 1e-12);
+        assert!((p.log2_inv_p(1) - 2.0).abs() < 1e-12);
+        assert!((p.log2_inv_p(2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phat_formula() {
+        let p = BernoulliProfile::new(vec![0.1, 0.4]).unwrap();
+        let ph = p.phat(0.5);
+        assert!((ph[0] - (0.05 + 0.5)).abs() < 1e-12);
+        assert!((ph[1] - (0.2 + 0.5)).abs() < 1e-12);
+        // alpha = 0: phat = p. alpha = 1: phat = 1.
+        assert_eq!(p.phat(0.0), vec![0.1, 0.4]);
+        assert_eq!(p.phat(1.0), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn c_constant_definition() {
+        let p = BernoulliProfile::uniform(100, 0.3).unwrap();
+        let n = 1000;
+        assert!((p.c_constant(n) - 30.0 / (1000f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_desc_permutation_roundtrip() {
+        let p = BernoulliProfile::new(vec![0.1, 0.5, 0.3]).unwrap();
+        let (sorted, perm) = p.sorted_desc();
+        assert_eq!(sorted.ps(), &[0.5, 0.3, 0.1]);
+        assert_eq!(perm, vec![1, 2, 0]);
+        assert!(sorted.is_sorted_desc());
+        assert!(!p.is_sorted_desc());
+    }
+}

@@ -1,0 +1,186 @@
+//! Frequency-plot transforms for the paper's Figure 2.
+//!
+//! Figure 2 plots, for each dataset, the sorted empirical frequencies `p_j`
+//! (decreasing in `j`) under the transform `y = 1 + log_n(p_j)`:
+//!
+//! * left panel: `x = j/d` (linear rank fraction);
+//! * right panel: `x = log_d(j)` (log rank) — a plain Zipfian distribution is
+//!   a straight line here, and real data shows up as *piecewise* Zipfian.
+
+/// One dataset's Figure 2 series.
+#[derive(Clone, Debug)]
+pub struct FrequencyPlot {
+    /// Dataset label.
+    pub name: String,
+    /// Points `(j/d, log_d j, 1 + log_n p_j)` for each plotted rank `j ≥ 1`.
+    pub points: Vec<FrequencyPoint>,
+}
+
+/// A single rank's plot coordinates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrequencyPoint {
+    /// Rank `j` (1-based, as in the paper).
+    pub rank: usize,
+    /// Left-panel x: `j/d`.
+    pub rank_frac: f64,
+    /// Right-panel x: `log_d j`.
+    pub log_rank: f64,
+    /// y: `1 + log_n p_j`.
+    pub y: f64,
+}
+
+impl FrequencyPlot {
+    /// Builds the series from sorted (decreasing) frequencies, `n`, and `d`,
+    /// downsampling to at most `max_points` geometrically spaced ranks (the
+    /// interesting structure is log-scale in rank). Zero frequencies are
+    /// skipped (log undefined; the paper's plots end at the last observed
+    /// item).
+    pub fn from_sorted_frequencies(
+        name: impl Into<String>,
+        freqs: &[f64],
+        n: usize,
+        max_points: usize,
+    ) -> Self {
+        assert!(n >= 2, "need n >= 2 for log_n");
+        let d = freqs.len();
+        assert!(d >= 2, "need d >= 2 for log_d");
+        let ln_n = (n as f64).ln();
+        let ln_d = (d as f64).ln();
+        let ranks = geometric_ranks(d, max_points);
+        let points = ranks
+            .into_iter()
+            .filter_map(|j| {
+                let p = freqs[j - 1];
+                if p <= 0.0 {
+                    return None;
+                }
+                Some(FrequencyPoint {
+                    rank: j,
+                    rank_frac: j as f64 / d as f64,
+                    log_rank: (j as f64).ln() / ln_d,
+                    y: 1.0 + p.ln() / ln_n,
+                })
+            })
+            .collect();
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Largest y value (the head of the distribution).
+    pub fn y_max(&self) -> f64 {
+        self.points.iter().map(|p| p.y).fold(f64::MIN, f64::max)
+    }
+
+    /// Least-squares slope of `y` against `log_d j` — the (negative of the)
+    /// Zipf exponent in the right-panel parameterization. A straight-line
+    /// (pure Zipf) dataset has constant local slope.
+    pub fn zipf_slope(&self) -> f64 {
+        let pts: Vec<(f64, f64)> = self.points.iter().map(|p| (p.log_rank, p.y)).collect();
+        least_squares_slope(&pts)
+    }
+}
+
+/// At most `k` distinct ranks in `[1, d]`, geometrically spaced.
+fn geometric_ranks(d: usize, k: usize) -> Vec<usize> {
+    assert!(k >= 2);
+    let mut out = Vec::with_capacity(k);
+    let ratio = (d as f64).powf(1.0 / (k as f64 - 1.0));
+    let mut r = 1.0f64;
+    for _ in 0..k {
+        let j = (r.round() as usize).clamp(1, d);
+        if out.last() != Some(&j) {
+            out.push(j);
+        }
+        r *= ratio;
+    }
+    if out.last() != Some(&d) {
+        out.push(d);
+    }
+    out
+}
+
+/// Ordinary least-squares slope of `y` on `x`.
+pub fn least_squares_slope(pts: &[(f64, f64)]) -> f64 {
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(x, y) in pts {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_ranks_cover_endpoints() {
+        let r = geometric_ranks(1000, 10);
+        assert_eq!(*r.first().unwrap(), 1);
+        assert_eq!(*r.last().unwrap(), 1000);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn plot_transform_formulas() {
+        // freqs over d=100, n=10_000; check the transform at rank 1.
+        let mut freqs = vec![0.001; 100];
+        freqs[0] = 0.1;
+        let plot = FrequencyPlot::from_sorted_frequencies("t", &freqs, 10_000, 50);
+        let p0 = plot.points[0];
+        assert_eq!(p0.rank, 1);
+        assert!((p0.rank_frac - 0.01).abs() < 1e-12);
+        assert_eq!(p0.log_rank, 0.0); // log 1 = 0
+        // y = 1 + ln(0.1)/ln(10000) = 1 - 0.25 = 0.75.
+        assert!((p0.y - 0.75).abs() < 1e-12, "y={}", p0.y);
+    }
+
+    #[test]
+    fn pure_zipf_is_linear_in_log_rank() {
+        // p_j = c / j  =>  y = 1 + (ln c - ln j)/ln n, linear in ln j.
+        let d = 10_000usize;
+        let n = 100_000usize;
+        let freqs: Vec<f64> = (1..=d).map(|j| 0.5 / j as f64).collect();
+        let plot = FrequencyPlot::from_sorted_frequencies("zipf", &freqs, n, 64);
+        // Residuals from the least-squares line should be ~0.
+        let slope = plot.zipf_slope();
+        let pts: Vec<(f64, f64)> = plot.points.iter().map(|p| (p.log_rank, p.y)).collect();
+        let my = pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64;
+        let mx = pts.iter().map(|p| p.0).sum::<f64>() / pts.len() as f64;
+        for &(x, y) in &pts {
+            let fit = my + slope * (x - mx);
+            assert!((y - fit).abs() < 1e-9, "nonlinear at x={x}");
+        }
+        // slope = -ln d / ln n per unit of log_d j.
+        let expect = -(d as f64).ln() / (n as f64).ln();
+        assert!((slope - expect).abs() < 1e-9, "slope={slope}");
+    }
+
+    #[test]
+    fn zero_frequencies_are_skipped() {
+        let mut freqs = vec![0.2, 0.1, 0.05];
+        freqs.extend(vec![0.0; 7]);
+        let plot = FrequencyPlot::from_sorted_frequencies("z", &freqs, 100, 20);
+        assert!(plot.points.iter().all(|p| p.y.is_finite()));
+        assert!(plot.points.iter().all(|p| p.rank <= 3));
+    }
+
+    #[test]
+    fn least_squares_slope_of_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((least_squares_slope(&pts) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the data model.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch_datagen::{
+    correlated_query, loader, BernoulliProfile, Dataset, VectorSampler,
+};
+
+fn arb_profile() -> impl Strategy<Value = BernoulliProfile> {
+    prop::collection::vec(0.002f64..0.5, 2..120)
+        .prop_map(|ps| BernoulliProfile::new(ps).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn samples_are_valid_subsets(profile in arb_profile(), seed in any::<u64>()) {
+        let sampler = VectorSampler::new(&profile);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let x = sampler.sample(&mut rng);
+            let dims = x.dims();
+            prop_assert!(dims.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            prop_assert!(dims.iter().all(|&i| (i as usize) < profile.d()));
+        }
+    }
+
+    #[test]
+    fn correlated_query_is_valid_and_interpolates(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        alpha in 0.0f64..=1.0,
+    ) {
+        let sampler = VectorSampler::new(&profile);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = sampler.sample(&mut rng);
+        let q = correlated_query(&x, &profile, alpha, &mut rng);
+        prop_assert!(q.dims().iter().all(|&i| (i as usize) < profile.d()));
+        if alpha == 1.0 {
+            prop_assert_eq!(q, x);
+        }
+    }
+
+    #[test]
+    fn estimated_profile_has_matching_shape(profile in arb_profile(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = Dataset::generate(&profile, 60, &mut rng);
+        let est = ds.estimate_profile(0.5);
+        prop_assert_eq!(est.d(), profile.d());
+        // Laplace smoothing keeps everything strictly inside (0, 1).
+        prop_assert!(est.min_p() > 0.0);
+        prop_assert!(est.max_p() < 1.0);
+    }
+
+    #[test]
+    fn loader_roundtrips_any_dataset(
+        vecs in prop::collection::vec(prop::collection::vec(0u32..5000, 0..30), 1..40),
+    ) {
+        let vectors: Vec<_> = vecs
+            .into_iter()
+            .map(skewsearch_sets::SparseVec::from_unsorted)
+            .collect();
+        let d = vectors
+            .iter()
+            .filter_map(|v| v.dims().last().copied())
+            .max()
+            .map_or(1, |m| m as usize + 1);
+        let ds = Dataset::from_vectors(vectors, d);
+        let mut buf = Vec::new();
+        loader::write_transactions(&ds, &mut buf).unwrap();
+        let ds2 = loader::read_transactions(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(ds.n(), ds2.n());
+        for i in 0..ds.n() {
+            prop_assert_eq!(ds.vector(i), ds2.vector(i));
+        }
+    }
+
+    #[test]
+    fn profile_constructors_hit_target_weight(
+        d in 50usize..400,
+        s in 0.2f64..2.0,
+        frac in 0.05f64..0.4,
+    ) {
+        let target = frac * d as f64 * 0.4;
+        let p = BernoulliProfile::zipf(d, s, target, 0.5).unwrap();
+        prop_assert!((p.sum_p() - target).abs() / target < 0.01);
+        prop_assert!(p.is_sorted_desc());
+        prop_assert!(p.max_p() <= 0.5);
+    }
+}

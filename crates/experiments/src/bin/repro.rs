@@ -1,0 +1,175 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro fig1 [--steps N]                Figure 1 rho curves
+//! repro fig2 [--scale N] [--file PATH]  Figure 2 frequency plots
+//! repro table1 [--scale N]              Table 1 independence ratios
+//! repro sec7-adversarial [--log2n K]    §7.1 worked examples
+//! repro sec7-correlated [--log2n K]     §7.2 worked examples
+//! repro motivating [--d N] [--i1 X]     §1 motivating example
+//! repro scaling [--uniform] [--full]    Theorem 1/2 candidate scaling
+//! repro recall                          Lemma 5 recall-vs-repetitions
+//! repro all                             everything, default parameters
+//! ```
+//!
+//! Output is TSV on stdout (`# title` line, header, rows), suitable for
+//! redirecting straight into plotting scripts.
+
+use skewsearch_experiments::{fig1, fig2, motivating, recall, scaling, sec7, table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "fig1" => run_fig1(&args),
+        "fig2" => run_fig2(&args),
+        "table1" => run_table1(&args),
+        "sec7-adversarial" => run_sec7_adversarial(&args),
+        "sec7-correlated" => run_sec7_correlated(&args),
+        "motivating" => run_motivating(&args),
+        "scaling" => run_scaling(&args),
+        "recall" => run_recall(&args),
+        "all" => {
+            run_fig1(&args);
+            run_fig2(&args);
+            run_table1(&args);
+            run_sec7_adversarial(&args);
+            run_sec7_correlated(&args);
+            run_motivating(&args);
+            run_scaling(&args);
+            run_recall(&args);
+        }
+        _ => {
+            eprintln!(
+                "usage: repro <fig1|fig2|table1|sec7-adversarial|sec7-correlated|\
+                 motivating|scaling|recall|all> [options]\n\
+                 options: --steps N --scale N --file PATH --log2n K --d N --i1 X \
+                 --uniform --full --seed S"
+            );
+            std::process::exit(if cmd == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+/// Parses `--name value` (panics with a clear message on malformed input).
+fn opt<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            let raw = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("missing value after {name}"));
+            raw.parse()
+                .unwrap_or_else(|e| panic!("bad value for {name}: {e}"))
+        }
+        None => default,
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn run_fig1(args: &[String]) {
+    let steps = opt(args, "--steps", 50usize);
+    let fig = fig1::paper_setting(steps);
+    print!("{}", fig.table().render_tsv());
+    println!("# max gap rho_CP - rho_ours = {:.4}\n", fig.max_gap());
+}
+
+fn run_fig2(args: &[String]) {
+    let scale = opt(args, "--scale", 4000usize);
+    let seed = opt(args, "--seed", 42u64);
+    let file = opt(args, "--file", String::new());
+    let fig = if file.is_empty() {
+        fig2::from_surrogates(scale, seed)
+    } else {
+        let ds = skewsearch_datagen::loader::load_transactions(&file)
+            .unwrap_or_else(|e| panic!("loading {file}: {e}"));
+        fig2::from_dataset(&file, &ds)
+    };
+    print!("{}", fig.table().render_tsv());
+    println!();
+    print!("{}", fig.summary().render_tsv());
+    println!();
+}
+
+fn run_table1(args: &[String]) {
+    let scale = opt(args, "--scale", 5000usize);
+    let seed = opt(args, "--seed", 42u64);
+    let file = opt(args, "--file", String::new());
+    if file.is_empty() {
+        let t = table1::from_surrogates(scale, seed);
+        print!("{}", t.table().render_tsv());
+    } else {
+        let ds = skewsearch_datagen::loader::load_transactions(&file)
+            .unwrap_or_else(|e| panic!("loading {file}: {e}"));
+        let r = table1::row_for_dataset(&file, &ds);
+        println!(
+            "# Table 1 row for {file}\nratio2\t{:.3}\nratio3\t{:.3}",
+            r.ratio2, r.ratio3
+        );
+    }
+    println!();
+}
+
+fn run_sec7_adversarial(args: &[String]) {
+    let log2n = opt(args, "--log2n", 40u32);
+    let rows = sec7::sec71_adversarial(1usize << log2n);
+    print!(
+        "{}",
+        sec7::render(&rows, "Section 7.1: adversarial worked examples").render_tsv()
+    );
+    println!();
+}
+
+fn run_sec7_correlated(args: &[String]) {
+    let log2n = opt(args, "--log2n", 40u32);
+    let c = opt(args, "--c", 20.0f64);
+    let rows = sec7::sec72_correlated(1usize << log2n, c);
+    print!(
+        "{}",
+        sec7::render(&rows, "Section 7.2: correlated worked examples").render_tsv()
+    );
+    println!();
+}
+
+fn run_motivating(args: &[String]) {
+    let d = opt(args, "--d", 100_000usize);
+    let i1 = opt(args, "--i1", 0.5f64);
+    let m = motivating::compute(d, i1);
+    print!("{}", m.table().render_tsv());
+    println!();
+}
+
+fn run_scaling(args: &[String]) {
+    let mut config = if flag(args, "--uniform") {
+        scaling::ScalingConfig::default_uniform()
+    } else {
+        scaling::ScalingConfig::default_skewed()
+    };
+    if flag(args, "--full") {
+        config.ns = vec![1000, 2000, 4000, 8000, 16000];
+        config.queries = 100;
+    }
+    config.seed = opt(args, "--seed", config.seed);
+    let s = if flag(args, "--adversarial") {
+        scaling::run_adversarial(&config, opt(args, "--b1", 0.7), 2)
+    } else {
+        scaling::run(&config)
+    };
+    print!("{}", s.table().render_tsv());
+    println!();
+    print!("{}", s.summary().render_tsv());
+    println!();
+}
+
+fn run_recall(args: &[String]) {
+    let mut config = recall::RecallConfig::default_config();
+    config.seed = opt(args, "--seed", config.seed);
+    let c = recall::run(&config);
+    print!("{}", c.table().render_tsv());
+    println!();
+}

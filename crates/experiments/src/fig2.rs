@@ -1,0 +1,152 @@
+//! **Figure 2**: frequency distributions of the Mann et al. datasets,
+//! plotted as `1 + log_n p_j` against `j/d` (left panel) and `log_d j`
+//! (right panel).
+//!
+//! Run on the synthetic surrogates by default (see DESIGN.md §3 for the
+//! substitution rationale); [`from_dataset`] accepts any loaded dataset, so
+//! the real benchmark files reproduce the genuine figure via
+//! `skewsearch_datagen::loader`.
+
+use crate::table::{fmt, Table};
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch_datagen::{surrogate_catalog, Dataset, FrequencyPlot};
+
+/// Figure 2 data for a collection of datasets.
+#[derive(Clone, Debug)]
+pub struct Fig2 {
+    /// One frequency plot per dataset.
+    pub plots: Vec<FrequencyPlot>,
+}
+
+/// Number of plotted ranks per dataset (geometrically spaced).
+pub const POINTS_PER_DATASET: usize = 48;
+
+/// Builds the figure from the surrogate catalog at scale `n` per dataset.
+pub fn from_surrogates(n: usize, seed: u64) -> Fig2 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plots = surrogate_catalog()
+        .iter()
+        .map(|spec| {
+            let (ds, _) = spec.generate(n, &mut rng);
+            plot_of(&spec.display_name(), &ds)
+        })
+        .collect();
+    Fig2 { plots }
+}
+
+/// The Figure 2 series of one (possibly real) dataset.
+pub fn from_dataset(name: &str, ds: &Dataset) -> Fig2 {
+    Fig2 {
+        plots: vec![plot_of(name, ds)],
+    }
+}
+
+fn plot_of(name: &str, ds: &Dataset) -> FrequencyPlot {
+    FrequencyPlot::from_sorted_frequencies(
+        name,
+        &ds.sorted_frequencies(),
+        ds.n(),
+        POINTS_PER_DATASET,
+    )
+}
+
+impl Fig2 {
+    /// Long-format table: one row per (dataset, rank) with both panels' x
+    /// coordinates.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 2: frequency distributions, y = 1 + log_n p_j",
+            &["dataset", "rank_j", "j/d (left x)", "log_d j (right x)", "y"],
+        );
+        for plot in &self.plots {
+            for p in &plot.points {
+                t.push_row(vec![
+                    plot.name.clone(),
+                    p.rank.to_string(),
+                    fmt(p.rank_frac, 6),
+                    fmt(p.log_rank, 4),
+                    fmt(p.y, 4),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Summary table: per-dataset head height, tail depth, and fitted
+    /// piecewise-Zipf slope — the quantities §8 reads off the figure.
+    pub fn summary(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 2 summary: skew indicators per dataset",
+            &["dataset", "y_head", "y_tail", "zipf_slope(right panel)"],
+        );
+        for plot in &self.plots {
+            let y_head = plot.points.first().map(|p| p.y).unwrap_or(f64::NAN);
+            let y_tail = plot.points.last().map(|p| p.y).unwrap_or(f64::NAN);
+            t.push_row(vec![
+                plot.name.clone(),
+                fmt(y_head, 4),
+                fmt(y_tail, 4),
+                fmt(plot.zipf_slope(), 4),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_ten_surrogates() {
+        let fig = from_surrogates(800, 7);
+        assert_eq!(fig.plots.len(), 10);
+        for p in &fig.plots {
+            assert!(p.name.ends_with("-SYN"));
+            assert!(!p.points.is_empty(), "{} has no points", p.name);
+        }
+    }
+
+    #[test]
+    fn every_dataset_displays_significant_skew() {
+        // §8: "all data sets display a significant skew" — head frequency far
+        // above tail frequency on the log_n scale.
+        let fig = from_surrogates(1500, 8);
+        for p in &fig.plots {
+            let y_head = p.points.first().unwrap().y;
+            let y_tail = p.points.last().unwrap().y;
+            // NETFLIX is the flattest real dataset (dense ratings, d ≈ 18k);
+            // 0.2 on the log_n scale still means a >n^0.2 frequency span.
+            assert!(
+                y_head - y_tail > 0.2,
+                "{}: head {y_head} tail {y_tail} — not skewed",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn y_is_at_most_one() {
+        // y = 1 + log_n p_j <= 1 since p_j <= 1.
+        let fig = from_surrogates(600, 9);
+        for p in &fig.plots {
+            for pt in &p.points {
+                assert!(pt.y <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn from_dataset_runs_on_loaded_data() {
+        use skewsearch_sets::SparseVec;
+        let vs: Vec<SparseVec> = (0..50)
+            .map(|i| SparseVec::from_unsorted(vec![0, 1 + (i % 7) as u32]))
+            .collect();
+        let ds = Dataset::from_vectors(vs, 10);
+        let fig = from_dataset("real-data", &ds);
+        assert_eq!(fig.plots.len(), 1);
+        assert_eq!(fig.plots[0].name, "real-data");
+        let t = fig.table();
+        assert!(!t.rows.is_empty());
+    }
+}

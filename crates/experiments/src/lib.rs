@@ -1,0 +1,32 @@
+//! # skewsearch-experiments
+//!
+//! Reproduction harness for every table and figure of
+//! "Set Similarity Search for Skewed Data" (PODS 2018), plus empirical
+//! validation of its theorems:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig1`] | Figure 1 — ρ of ours vs Chosen Path, half-`p`/half-`p/8`, α = 2/3 |
+//! | [`fig2`] | Figure 2 — frequency distributions of the Mann et al. datasets |
+//! | [`table1`] | Table 1 — independence ratios for `\|I\| ∈ {2, 3}` |
+//! | [`sec7`] | §7.1/§7.2 worked examples (exponent comparisons) |
+//! | [`motivating`] | §1 motivating example (harmonic split) |
+//! | [`scaling`] | Theorems 1–2 empirical validation (candidate scaling, added) |
+//! | [`recall`] | Lemma 5 repetition boost (added) |
+//!
+//! Each module exposes a pure `compute`/`run` function returning structured
+//! results plus [`table::Table`] renderers; the `repro` binary wires them to
+//! a CLI. EXPERIMENTS.md records paper-vs-measured values.
+
+#![warn(missing_docs)]
+
+pub mod fig1;
+pub mod fig2;
+pub mod motivating;
+pub mod recall;
+pub mod scaling;
+pub mod sec7;
+pub mod table;
+pub mod table1;
+
+pub use table::Table;

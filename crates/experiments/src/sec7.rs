@@ -1,0 +1,203 @@
+//! **§7 worked examples**: the paper's concrete performance comparisons.
+//!
+//! §7.1 (adversarial): queries of two bit types, `p_a = 1/4`,
+//! `p_b = n^{−0.9}`:
+//!
+//! * `b₁ = 1/3`: ρ_CP = log(1/3)/log(1/8) ≥ 0.528 vs ours
+//!   → log(2/3)/log(1/4) ≤ 0.293; prefix filtering has no non-trivial
+//!   guarantee.
+//! * `b₁ = 2/3`: ours → 0 (every path must cross an `n^{-0.9}` bit);
+//!   ρ_CP = log(2/3)/log(1/8) ≈ 0.194; prefix filtering needs `Ω(n^{0.1})`.
+//!
+//! §7.2 (correlated): `4C log n` bits at `p_a = 1/4` plus
+//! `n^{9/10} C log n` bits at `p_b = n^{−9/10}`, α = 2/3: our expected query
+//! time is `O(n^ε)` for every ε > 0 while prefix filtering takes `Ω(n^{0.1})`;
+//! and the Figure 1 setting `p_a = p`, `p_b = p/8` with Θ(1) probabilities,
+//! where prefix filtering has exponent 1.
+
+use crate::table::{fmt, Table};
+use skewsearch_rho::exponents::{
+    prefix_filter_exponent, rho_adversarial_query_blocks, rho_correlated_blocks,
+};
+use skewsearch_rho::model::{expected_b1_correlated_blocks, expected_b2_independent_blocks};
+use skewsearch_rho::rho_chosen_path;
+
+/// One worked example's exponents.
+#[derive(Clone, Debug)]
+pub struct ExampleRow {
+    /// Which example (paper reference).
+    pub label: String,
+    /// Our structure's exponent.
+    pub rho_ours: f64,
+    /// Chosen Path's exponent.
+    pub rho_chosen_path: f64,
+    /// Prefix filtering's cost exponent (1.0 = no guarantee).
+    pub rho_prefix: f64,
+    /// The paper's claimed value for our structure (asymptotic).
+    pub paper_ours: f64,
+    /// The paper's claimed Chosen Path value.
+    pub paper_chosen_path: f64,
+}
+
+/// §7.1: the two adversarial examples at a finite `n`.
+pub fn sec71_adversarial(n: usize) -> Vec<ExampleRow> {
+    let nf = n as f64;
+    let pa = 0.25;
+    let pb = nf.powf(-0.9);
+    let mut rows = Vec::new();
+
+    // Example 1: b1 = 1/3.
+    let b1 = 1.0 / 3.0;
+    rows.push(ExampleRow {
+        label: format!("7.1a: pa=1/4, pb=n^-0.9, b1=1/3 (n=2^{})", nf.log2().round()),
+        rho_ours: rho_adversarial_query_blocks(&[(1.0, pa), (1.0, pb)], b1),
+        rho_chosen_path: rho_chosen_path(b1, 1.0 / 8.0),
+        rho_prefix: 1.0, // "no non-trivial (worst-case) performance guarantee"
+        paper_ours: (2.0f64 / 3.0).ln() / 0.25f64.ln(), // 0.2925, the n→∞ limit
+        paper_chosen_path: 0.528,
+    });
+
+    // Example 2: b1 = 2/3 — paths forced through rare bits.
+    let b1 = 2.0 / 3.0;
+    rows.push(ExampleRow {
+        label: format!("7.1b: pa=1/4, pb=n^-0.9, b1=2/3 (n=2^{})", nf.log2().round()),
+        rho_ours: rho_adversarial_query_blocks(&[(1.0, pa), (1.0, pb)], b1),
+        rho_chosen_path: rho_chosen_path(b1, 1.0 / 8.0),
+        rho_prefix: prefix_filter_exponent(pb, n),
+        paper_ours: 0.0, // "ρ arbitrarily close to zero"
+        paper_chosen_path: 0.194,
+    });
+    rows
+}
+
+/// §7.2: the correlated examples at a finite `n` (with `C` the paper's
+/// profile constant).
+pub fn sec72_correlated(n: usize, c: f64) -> Vec<ExampleRow> {
+    let nf = n as f64;
+    let log_n = nf.ln();
+    let alpha = 2.0 / 3.0;
+    let mut rows = Vec::new();
+
+    // Example 1: 4C log n bits at 1/4, n^{9/10} C log n bits at n^{-9/10}.
+    let pa = 0.25;
+    let pb = nf.powf(-0.9);
+    let blocks = [
+        (4.0 * c * log_n, pa),
+        (nf.powf(0.9) * c * log_n, pb),
+    ];
+    let b1 = expected_b1_correlated_blocks(&blocks, alpha);
+    let b2 = expected_b2_independent_blocks(&blocks);
+    rows.push(ExampleRow {
+        label: format!(
+            "7.2a: 4Clog(n) bits@1/4 + n^0.9*Clog(n) bits@n^-0.9, alpha=2/3 (n=2^{})",
+            nf.log2().round()
+        ),
+        rho_ours: rho_correlated_blocks(&blocks, alpha),
+        rho_chosen_path: rho_chosen_path(b1, b2),
+        rho_prefix: prefix_filter_exponent(pb, n),
+        paper_ours: 0.0, // "O(n^ε) for every constant ε > 0"
+        paper_chosen_path: f64::NAN,
+    });
+
+    // Example 2: the Figure 1 setting at p = 1/4 (all probabilities Θ(1)).
+    let blocks = [(1.0, 0.25), (1.0, 0.25 / 8.0)];
+    let b1 = expected_b1_correlated_blocks(&blocks, alpha);
+    let b2 = expected_b2_independent_blocks(&blocks);
+    rows.push(ExampleRow {
+        label: "7.2b: half bits@p=1/4, half@p/8, alpha=2/3 (Figure 1 point)".to_string(),
+        rho_ours: rho_correlated_blocks(&blocks, alpha),
+        rho_chosen_path: rho_chosen_path(b1, b2),
+        rho_prefix: 1.0, // Θ(1) probabilities: no prefix guarantee
+        paper_ours: f64::NAN,
+        paper_chosen_path: f64::NAN,
+    });
+    rows
+}
+
+/// Renders rows as a table.
+pub fn render(rows: &[ExampleRow], title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "example",
+            "rho_ours",
+            "paper(ours)",
+            "rho_chosen_path",
+            "paper(CP)",
+            "rho_prefix",
+        ],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.label.clone(),
+            fmt(r.rho_ours, 4),
+            fmt(r.paper_ours, 3),
+            fmt(r.rho_chosen_path, 4),
+            fmt(r.paper_chosen_path, 3),
+            fmt(r.rho_prefix, 3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 1 << 40; // large n: close to the asymptotic claims
+
+    #[test]
+    fn sec71a_matches_paper_numbers() {
+        let rows = sec71_adversarial(N);
+        let r = &rows[0];
+        // Paper: ours ≤ 0.293 + o(1), CP ≥ 0.528.
+        assert!(
+            (r.rho_chosen_path - 0.528).abs() < 0.001,
+            "cp={}",
+            r.rho_chosen_path
+        );
+        assert!(r.rho_ours < 0.31, "ours={}", r.rho_ours);
+        assert!(r.rho_ours >= r.paper_ours - 1e-9, "finite-n is above limit");
+        assert!((r.paper_ours - 0.2925).abs() < 0.001);
+    }
+
+    #[test]
+    fn sec71b_ours_is_near_zero() {
+        let rows = sec71_adversarial(N);
+        let r = &rows[1];
+        assert!(r.rho_ours < 0.05, "ours={}", r.rho_ours);
+        assert!((r.rho_chosen_path - 0.195).abs() < 0.001);
+        assert!((r.rho_prefix - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sec71b_ours_shrinks_with_n() {
+        let small = sec71_adversarial(1 << 20)[1].rho_ours;
+        let large = sec71_adversarial(1 << 40)[1].rho_ours;
+        assert!(large < small, "should vanish asymptotically");
+    }
+
+    #[test]
+    fn sec72a_ours_near_zero_prefix_01() {
+        let rows = sec72_correlated(N, 20.0);
+        let r = &rows[0];
+        assert!(r.rho_ours < 0.05, "ours={}", r.rho_ours);
+        assert!((r.rho_prefix - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sec72b_matches_figure1_point() {
+        let rows = sec72_correlated(N, 20.0);
+        let r = &rows[1];
+        // At p = 1/4 the Figure 1 gap is visible and ours < CP.
+        assert!(r.rho_ours < r.rho_chosen_path);
+        assert!(r.rho_ours > 0.05 && r.rho_ours < 0.5);
+    }
+
+    #[test]
+    fn render_produces_full_table() {
+        let t = render(&sec71_adversarial(N), "sec 7.1");
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.render_markdown().contains("7.1a"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Plain-text table rendering (TSV and Markdown) for experiment output.
+//!
+//! Hand-rolled on purpose: experiment results are small tabular artifacts,
+//! and a serialization dependency would buy nothing (see DESIGN.md §6).
+
+/// A rendered experiment artifact: title, header, and string rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Human-readable caption (matches the paper's table/figure id).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major cells; each row must have `columns.len()` entries.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and columns.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity {} != {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Tab-separated rendering (first line `# title`, second the header).
+    pub fn render_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str(&self.columns.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// GitHub-flavored Markdown rendering.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals (shared cell formatting).
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["x".into(), "y".into()]);
+        t
+    }
+
+    #[test]
+    fn tsv_layout() {
+        let s = sample().render_tsv();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "# demo");
+        assert_eq!(lines[1], "a\tb");
+        assert_eq!(lines[2], "1\t2");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn markdown_layout() {
+        let s = sample().render_markdown();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("|---|---|"));
+        assert!(s.contains("| x | y |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_digits() {
+        assert_eq!(fmt(0.52801, 3), "0.528");
+        assert_eq!(fmt(1.0, 1), "1.0");
+    }
+}

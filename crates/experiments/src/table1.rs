@@ -1,0 +1,159 @@
+//! **Table 1**: independence ratios
+//! `E_I[Pr_x[∀_{j∈I} x_j = 1]] / E_I[∏_{j∈I} p_j]` for `|I| ∈ {2, 3}`.
+//!
+//! Computed exactly (elementary symmetric polynomials — see
+//! `skewsearch_datagen::independence`) on the synthetic surrogates, with the
+//! paper's measured values alongside for reference. The reproduction target
+//! is the *qualitative regime* (all > 1, ratio₃ > ratio₂, mild → extreme
+//! ordering, SPOTIFY far out), not the exact numbers: the surrogates'
+//! dependence injection is tuned per regime, not fitted per dataset.
+
+use crate::table::{fmt, Table};
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch_datagen::{independence_ratios, surrogate_catalog, Dataset};
+
+/// One dataset's row.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Dataset label (`*-SYN` = surrogate).
+    pub name: String,
+    /// Measured ratio for |I| = 2.
+    pub ratio2: f64,
+    /// Measured ratio for |I| = 3.
+    pub ratio3: f64,
+    /// The paper's Table 1 value for |I| = 2.
+    pub paper_ratio2: f64,
+    /// The paper's Table 1 value for |I| = 3.
+    pub paper_ratio3: f64,
+}
+
+/// The full Table 1 reproduction.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// One row per dataset, in the paper's order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Computes Table 1 on all surrogates at scale `n`.
+pub fn from_surrogates(n: usize, seed: u64) -> Table1 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = surrogate_catalog()
+        .iter()
+        .map(|spec| {
+            let (ds, _) = spec.generate(n, &mut rng);
+            let r = independence_ratios(&ds);
+            Table1Row {
+                name: spec.display_name(),
+                ratio2: r.ratio2,
+                ratio3: r.ratio3,
+                paper_ratio2: spec.paper_ratio2,
+                paper_ratio3: spec.paper_ratio3,
+            }
+        })
+        .collect();
+    Table1 { rows }
+}
+
+/// Computes the ratios for one loaded (possibly real) dataset.
+pub fn row_for_dataset(name: &str, ds: &Dataset) -> Table1Row {
+    let r = independence_ratios(ds);
+    Table1Row {
+        name: name.to_string(),
+        ratio2: r.ratio2,
+        ratio3: r.ratio3,
+        paper_ratio2: f64::NAN,
+        paper_ratio3: f64::NAN,
+    }
+}
+
+impl Table1 {
+    /// Renders measured-vs-paper values.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Table 1: independence ratios (measured on surrogates vs paper)",
+            &[
+                "dataset",
+                "|I|=2 measured",
+                "|I|=2 paper",
+                "|I|=3 measured",
+                "|I|=3 paper",
+            ],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.name.clone(),
+                fmt(r.ratio2, 2),
+                fmt(r.paper_ratio2, 1),
+                fmt(r.ratio3, 2),
+                fmt(r.paper_ratio3, 1),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> Table1 {
+        from_surrogates(2500, 17)
+    }
+
+    #[test]
+    fn all_ratios_indicate_positive_dependence() {
+        // Paper: "all data sets have some kind of positive correlation".
+        for r in table1().rows {
+            assert!(r.ratio2 > 1.0, "{}: ratio2={}", r.name, r.ratio2);
+            assert!(r.ratio3 > 1.0, "{}: ratio3={}", r.name, r.ratio3);
+        }
+    }
+
+    #[test]
+    fn triples_exceed_pairs() {
+        // In the paper every dataset has ratio3 > ratio2.
+        for r in table1().rows {
+            assert!(
+                r.ratio3 > r.ratio2,
+                "{}: ratio3={} !> ratio2={}",
+                r.name,
+                r.ratio3,
+                r.ratio2
+            );
+        }
+    }
+
+    #[test]
+    fn spotify_is_the_extreme_case() {
+        let t = table1();
+        let spotify = t.rows.iter().find(|r| r.name.contains("SPOTIFY")).unwrap();
+        for r in &t.rows {
+            if !r.name.contains("SPOTIFY") {
+                assert!(
+                    spotify.ratio2 >= r.ratio2 * 0.9,
+                    "SPOTIFY ({}) should dominate {} ({})",
+                    spotify.ratio2,
+                    r.name,
+                    r.ratio2
+                );
+            }
+        }
+        assert!(spotify.ratio3 > 10.0, "ratio3={}", spotify.ratio3);
+    }
+
+    #[test]
+    fn ordering_follows_dependence_regimes() {
+        // Mild datasets (AOL/DBLP) should sit well below strong (KOSARAK).
+        let t = table1();
+        let get = |n: &str| t.rows.iter().find(|r| r.name.contains(n)).unwrap();
+        assert!(get("KOSARAK").ratio2 > get("AOL").ratio2);
+        assert!(get("KOSARAK").ratio2 > get("DBLP").ratio2);
+    }
+
+    #[test]
+    fn render_includes_paper_reference_values() {
+        let rendered = table1().table().render_tsv();
+        assert!(rendered.contains("6022.1")); // paper's SPOTIFY |I|=3
+        assert!(rendered.contains("AOL-SYN"));
+    }
+}

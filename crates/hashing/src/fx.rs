@@ -1,0 +1,143 @@
+//! A fast Fx-style hasher for internal hash maps.
+//!
+//! The inverted filter index maps 128-bit path keys (already well-mixed) to
+//! posting lists; SipHash's HashDoS protection buys nothing there and costs
+//! measurably (see the Rust perf book's "Hashing" chapter). This is the
+//! rustc/Firefox `FxHasher` word-at-a-time multiply hash, implemented locally
+//! to keep the dependency set minimal.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// rustc's Fx hash seed (64-bit golden-ratio constant).
+const K: u64 = 0x517C_C1B7_2722_0A95;
+
+/// Word-at-a-time multiplicative hasher (not HashDoS resistant — use only for
+/// keys that are not attacker controlled or already well mixed).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_word(i as u64);
+        self.add_word((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&1u128), hash_of(&(1u128 << 64)));
+    }
+
+    #[test]
+    fn byte_stream_tail_handling() {
+        // Writes shorter than, equal to, and longer than a word.
+        for len in [0usize, 1, 7, 8, 9, 16, 17] {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut h1 = FxHasher::default();
+            h1.write(&bytes);
+            let mut h2 = FxHasher::default();
+            h2.write(&bytes);
+            assert_eq!(h1.finish(), h2.finish(), "len={len}");
+        }
+        // Streams with the same zero-padded word content but different word
+        // counts must diverge (one vs two mixing rounds of nonzero words).
+        let mut a = FxHasher::default();
+        a.write(&[7u8; 3]);
+        let mut b = FxHasher::default();
+        b.write(&[7u8; 11]);
+        assert_ne!(
+            {
+                a.write_u8(1);
+                a.finish()
+            },
+            {
+                b.write_u8(1);
+                b.finish()
+            }
+        );
+    }
+
+    #[test]
+    fn usable_in_hashmap() {
+        let mut m: FxHashMap<u128, u32> = FxHashMap::default();
+        for i in 0..1000u128 {
+            m.insert(i * 7, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(7 * 999)], 999);
+    }
+}

@@ -1,0 +1,39 @@
+//! # skewsearch-hashing
+//!
+//! Hashing substrate for the `skewsearch` workspace.
+//!
+//! The data structure of the paper ("Set Similarity Search for Skewed Data",
+//! PODS 2018, §3) requires `k` hash functions `h_1, …, h_k`, each mapping a
+//! path `(i_1, …, i_j) ∈ [d]^j` to `[0, 1)`, drawn from a **pairwise
+//! independent** family — pairwise independence is exactly what the
+//! second-moment argument of Lemma 5 consumes. This crate provides:
+//!
+//! * [`mix`] — scalar finalizers/mixers (splitmix64, xxhash-style avalanche);
+//! * [`pairwise`] — strongly universal multiply-shift families on `u64`/`u128`
+//!   keys (Dietzfelbinger et al.), with mapping to `[0, 1)`;
+//! * [`tabulation`] — simple tabulation hashing (3-independent), used as an
+//!   alternative family in ablation benchmarks;
+//! * [`path`] — incremental 128-bit **path keys**: the identity of a path is a
+//!   128-bit hash accumulated one dimension at a time, so extending a path by
+//!   one dimension is O(1) and two vectors agree on a path key iff they chose
+//!   the same dimension sequence (up to a 2⁻¹²⁸-scale collision probability);
+//! * [`fx`] — a fast Fx-style `BuildHasher` for internal hash maps (the
+//!   inverted filter index keys are already well-mixed 128-bit values, so a
+//!   cheap multiply hash is appropriate; see the Rust perf book's hashing
+//!   guidance).
+//!
+//! All randomness is injected through [`rand`] RNGs so the whole stack is
+//! deterministic under a fixed seed.
+
+#![warn(missing_docs)]
+
+pub mod fx;
+pub mod mix;
+pub mod path;
+pub mod pairwise;
+pub mod tabulation;
+
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use pairwise::{PairwiseU128, PairwiseU64};
+pub use path::{LevelHasher, PathHasherStack, PathKey};
+pub use tabulation::Tabulation64;

@@ -1,0 +1,105 @@
+//! Scalar mixing / finalizing functions.
+//!
+//! These are deterministic bijections on `u64` with strong avalanche
+//! behaviour. They are *not* a substitute for the seeded pairwise-independent
+//! families in [`crate::pairwise`]; they are used to (a) derive well-spread
+//! stream constants from small integers, and (b) finalize composite keys.
+
+/// `splitmix64` step: the de-facto standard generator for seeding.
+///
+/// A bijection on `u64`; distinct inputs give distinct outputs.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xxhash3-style avalanche finalizer (bijective).
+#[inline]
+pub fn avalanche64(x: u64) -> u64 {
+    let mut z = x;
+    z ^= z >> 37;
+    z = z.wrapping_mul(0x165667919E3779F9);
+    z ^ (z >> 32)
+}
+
+/// Murmur3 finalizer (bijective) — a third independent mixer for tests that
+/// cross-check avalanche quality.
+#[inline]
+pub fn murmur3_fmix64(x: u64) -> u64 {
+    let mut z = x;
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xFF51AFD7ED558CCD);
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xC4CEB9FE1A85EC53);
+    z ^ (z >> 33)
+}
+
+/// Combines two words into one well-mixed word (not bijective in the pair,
+/// but full-entropy in each argument).
+#[inline]
+pub fn combine64(a: u64, b: u64) -> u64 {
+    // 128-bit multiply folding (wyhash-style mum).
+    let m = (a ^ 0x2D35_8DCC_AA6C_78A5) as u128 * (b ^ 0x8BB8_4B93_962E_ACC9) as u128;
+    (m as u64) ^ ((m >> 64) as u64)
+}
+
+/// Maps a `u64` to a double in `[0, 1)` using the top 53 bits.
+#[inline]
+pub fn to_unit_f64(x: u64) -> f64 {
+    // 2^-53 * top 53 bits: uniform on the 2^53 grid, always < 1.
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        // Consecutive inputs should differ in many bits (avalanche sanity).
+        let d = (splitmix64(42) ^ splitmix64(43)).count_ones();
+        assert!(d > 16, "only {d} differing bits");
+    }
+
+    #[test]
+    fn mixers_are_bijective_on_a_sample() {
+        // Injectivity spot check over a contiguous range.
+        use std::collections::HashSet;
+        for f in [splitmix64, avalanche64, murmur3_fmix64] {
+            let outs: HashSet<u64> = (0u64..10_000).map(f).collect();
+            assert_eq!(outs.len(), 10_000);
+        }
+    }
+
+    #[test]
+    fn to_unit_is_in_range_and_monotone_on_high_bits() {
+        assert_eq!(to_unit_f64(0), 0.0);
+        assert!(to_unit_f64(u64::MAX) < 1.0);
+        assert!(to_unit_f64(u64::MAX) > 0.999_999);
+        assert!(to_unit_f64(1u64 << 63) - 0.5 < 1e-12);
+    }
+
+    #[test]
+    fn combine_depends_on_both_arguments() {
+        assert_ne!(combine64(1, 2), combine64(2, 1));
+        assert_ne!(combine64(1, 2), combine64(1, 3));
+        assert_ne!(combine64(1, 2), combine64(4, 2));
+    }
+
+    #[test]
+    fn avalanche_bit_flip_changes_about_half_the_bits() {
+        // For each of a few inputs, flipping one input bit should flip ~32
+        // output bits; we assert a loose 16..48 window for robustness.
+        for x in [0u64, 1, 0xDEADBEEF, u64::MAX / 3] {
+            for bit in [0u32, 7, 31, 63] {
+                let d = (murmur3_fmix64(x) ^ murmur3_fmix64(x ^ (1 << bit))).count_ones();
+                assert!((16..=48).contains(&d), "x={x} bit={bit} d={d}");
+            }
+        }
+    }
+}

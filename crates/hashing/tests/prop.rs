@@ -1,0 +1,95 @@
+//! Property-based tests for the hashing substrate.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch_hashing::{
+    mix, FxHashMap, PairwiseU128, PairwiseU64, PathHasherStack, PathKey, Tabulation64,
+};
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mixers_are_deterministic_and_unit_range(x in any::<u64>()) {
+        prop_assert_eq!(mix::splitmix64(x), mix::splitmix64(x));
+        prop_assert_eq!(mix::avalanche64(x), mix::avalanche64(x));
+        prop_assert_eq!(mix::murmur3_fmix64(x), mix::murmur3_fmix64(x));
+        let u = mix::to_unit_f64(x);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn pairwise_u64_is_a_function(seed in any::<u64>(), x in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = PairwiseU64::sample(&mut rng);
+        prop_assert_eq!(h.hash(x), h.hash(x));
+        prop_assert!((0.0..1.0).contains(&h.hash_unit(x)));
+    }
+
+    #[test]
+    fn pairwise_u128_word_sensitivity(seed in any::<u64>(), hi in any::<u64>(), lo in any::<u64>()) {
+        prop_assume!(hi != lo);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = PairwiseU128::sample(&mut rng);
+        let a = ((hi as u128) << 64) | lo as u128;
+        let b = ((lo as u128) << 64) | hi as u128;
+        // Swapping words should essentially always change the hash; a
+        // coincidence is a 2^-64 event, impossible over 256 cases.
+        prop_assert_ne!(h.hash(a), h.hash(b));
+    }
+
+    #[test]
+    fn path_keys_injective_on_random_sequences(
+        seq1 in prop::collection::vec(0u32..10_000, 1..12),
+        seq2 in prop::collection::vec(0u32..10_000, 1..12),
+    ) {
+        let key = |s: &[u32]| s.iter().fold(PathKey::EMPTY, |k, &i| k.extend(i));
+        if seq1 == seq2 {
+            prop_assert_eq!(key(&seq1), key(&seq2));
+        } else {
+            prop_assert_ne!(key(&seq1), key(&seq2));
+        }
+    }
+
+    #[test]
+    fn level_hash_acceptance_respects_threshold_ordering(
+        seed in any::<u64>(),
+        dims in prop::collection::vec(0u32..1000, 1..6),
+        t1 in 0.0f64..1.0,
+        t2 in 0.0f64..1.0,
+    ) {
+        // Acceptance is monotone in the threshold: accepted at t implies
+        // accepted at any t' >= t.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stack = PathHasherStack::sample(&mut rng, 3);
+        let key = dims.iter().fold(PathKey::EMPTY, |k, &i| k.extend(i));
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        if stack.level(0).accepts(key, lo) {
+            prop_assert!(stack.level(0).accepts(key, hi));
+        }
+    }
+
+    #[test]
+    fn tabulation_is_xor_linear_on_disjoint_bytes(seed in any::<u64>(), a in any::<u8>(), b in any::<u8>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tabulation64::sample(&mut rng);
+        let x = a as u64;            // byte 0
+        let y = (b as u64) << 16;    // byte 2
+        prop_assert_eq!(t.hash(x | y), t.hash(x) ^ t.hash(y) ^ t.hash(0));
+    }
+
+    #[test]
+    fn fx_map_agrees_with_std_map(ops in prop::collection::vec((any::<u128>(), any::<u32>()), 0..200)) {
+        let mut fx: FxHashMap<u128, u32> = FxHashMap::default();
+        let mut std_map: HashMap<u128, u32> = HashMap::new();
+        for (k, v) in &ops {
+            fx.insert(*k, *v);
+            std_map.insert(*k, *v);
+        }
+        prop_assert_eq!(fx.len(), std_map.len());
+        for (k, v) in &std_map {
+            prop_assert_eq!(fx.get(k), Some(v));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # skewsearch-rho
+//!
+//! The "ρ calculus" of the paper: every running-time exponent in
+//! "Set Similarity Search for Skewed Data" is the root of a monotone implicit
+//! equation, and this crate solves them all.
+//!
+//! * Theorem 1 (correlated queries): `Σ_i p_i^{1+ρ} / p̂_i = Σ_i p_i` with
+//!   `p̂_i = p_i(1−α) + α` — [`rho_correlated`];
+//! * Theorem 2 (adversarial queries): per-query
+//!   `Σ_{i∈q} p_i^{ρ(q)} = b₁ |q|` — [`rho_adversarial_query`] — and
+//!   preprocessing/space `Σ_i p_i^{1+ρᵤ} = b₁ Σ_i p_i` —
+//!   [`rho_adversarial_space`];
+//! * Chosen Path \[18\]: closed form `ρ = log b₁ / log b₂` —
+//!   [`rho_chosen_path`];
+//! * MinHash \[13, 14\]: `ρ = log j₁ / log j₂` on Jaccard thresholds —
+//!   [`rho_minhash`];
+//! * prefix filtering \[11\]: candidate-count exponent
+//!   `max(0, 1 + log_n min_i p_i)` — [`prefix_filter_exponent`];
+//! * the expected-similarity model used by Figure 1 and the baselines'
+//!   planners — [`model`].
+//!
+//! All implicit equations are solved by bracketed bisection on provably
+//! monotone residuals ([`solve`]), so results carry ~1e-12 accuracy.
+
+#![warn(missing_docs)]
+
+pub mod exponents;
+pub mod model;
+pub mod solve;
+
+pub use exponents::{
+    prefix_filter_exponent, rho_adversarial_query, rho_adversarial_query_blocks,
+    rho_adversarial_space, rho_chosen_path, rho_correlated, rho_correlated_blocks, rho_minhash,
+};
+pub use model::{expected_b1_correlated, expected_b2_independent, expected_similarities};

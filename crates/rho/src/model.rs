@@ -1,0 +1,127 @@
+//! Expected-similarity model for α-correlated and independent pairs.
+//!
+//! Used by Figure 1 and by the baseline planners: when comparing against
+//! Chosen Path or MinHash, the paper solves the `(b₁, b₂)`-approximate
+//! problem "where b₁ is the expected similarity between the correlated
+//! points and b₂ is the expected similarity between the query and an
+//! uncorrelated point" (§7.2).
+//!
+//! For `x ~ D`, `q ~ D_α(x)` and `x' ~ D` independent (Lemma 10's
+//! calculations):
+//!
+//! ```text
+//! E|x ∩ q|  = Σ_i p_i (α + (1−α) p_i)
+//! E|x' ∩ q| = Σ_i p_i²
+//! E|x| = E|q| = Σ_i p_i
+//! ```
+//!
+//! and with `Σ p_i = C log n` large, weights concentrate, so
+//! `B(x, q) ≈ E|x∩q| / Σp` up to `1 ± o(1)` factors — the same
+//! approximation the paper uses when instantiating Chosen Path.
+
+use crate::exponents::blocks_from_ps;
+use skewsearch_datagen::BernoulliProfile;
+
+/// Expected Braun-Blanquet similarity of an α-correlated pair,
+/// `b₁ ≈ Σ p(α + (1−α)p) / Σ p`, from block-weighted probabilities.
+pub fn expected_b1_correlated_blocks(blocks: &[(f64, f64)], alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha));
+    let num: f64 = blocks
+        .iter()
+        .map(|&(w, p)| w * p * (alpha + (1.0 - alpha) * p))
+        .sum();
+    let den: f64 = blocks.iter().map(|&(w, p)| w * p).sum();
+    num / den
+}
+
+/// Expected Braun-Blanquet similarity of an independent pair,
+/// `b₂ ≈ Σ p² / Σ p`, from block-weighted probabilities.
+pub fn expected_b2_independent_blocks(blocks: &[(f64, f64)]) -> f64 {
+    let num: f64 = blocks.iter().map(|&(w, p)| w * p * p).sum();
+    let den: f64 = blocks.iter().map(|&(w, p)| w * p).sum();
+    num / den
+}
+
+/// [`expected_b1_correlated_blocks`] for a full profile.
+pub fn expected_b1_correlated(profile: &BernoulliProfile, alpha: f64) -> f64 {
+    expected_b1_correlated_blocks(&blocks_from_ps(profile.ps()), alpha)
+}
+
+/// [`expected_b2_independent_blocks`] for a full profile.
+pub fn expected_b2_independent(profile: &BernoulliProfile) -> f64 {
+    expected_b2_independent_blocks(&blocks_from_ps(profile.ps()))
+}
+
+/// Both expected similarities `(b₁, b₂)` for a profile at correlation `α`.
+pub fn expected_similarities(profile: &BernoulliProfile, alpha: f64) -> (f64, f64) {
+    (
+        expected_b1_correlated(profile, alpha),
+        expected_b2_independent(profile),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use skewsearch_datagen::{correlated_query, Dataset, VectorSampler};
+    use skewsearch_sets::similarity;
+
+    #[test]
+    fn b1_interpolates_between_b2_and_one() {
+        let profile = BernoulliProfile::two_block(100, 0.3, 0.05).unwrap();
+        let b2 = expected_b2_independent(&profile);
+        assert!((expected_b1_correlated(&profile, 0.0) - b2).abs() < 1e-12);
+        assert!((expected_b1_correlated(&profile, 1.0) - 1.0).abs() < 1e-12);
+        let mid = expected_b1_correlated(&profile, 0.5);
+        assert!(b2 < mid && mid < 1.0);
+    }
+
+    #[test]
+    fn b2_formula_uniform() {
+        let profile = BernoulliProfile::uniform(40, 0.2).unwrap();
+        assert!((expected_b2_independent(&profile) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_matches_simulation() {
+        // Empirical mean similarity of correlated/independent pairs should
+        // track the model within sampling noise.
+        let profile = BernoulliProfile::two_block(3000, 0.05, 0.01).unwrap();
+        let alpha = 0.6;
+        let (b1, b2) = expected_similarities(&profile, alpha);
+        let sampler = VectorSampler::new(&profile);
+        let mut rng = StdRng::seed_from_u64(17);
+        let trials = 800;
+        let mut s1 = 0.0;
+        let mut s2 = 0.0;
+        for _ in 0..trials {
+            let x = sampler.sample(&mut rng);
+            let q = correlated_query(&x, &profile, alpha, &mut rng);
+            let z = sampler.sample(&mut rng);
+            s1 += similarity::braun_blanquet(&x, &q);
+            s2 += similarity::braun_blanquet(&z, &q);
+        }
+        let (e1, e2) = (s1 / trials as f64, s2 / trials as f64);
+        // The model ignores max(|x|,|q|) fluctuation: tolerate a few percent.
+        assert!((e1 - b1).abs() < 0.05, "sim={e1} model={b1}");
+        assert!((e2 - b2).abs() < 0.02, "sim={e2} model={b2}");
+    }
+
+    #[test]
+    fn empirical_frequencies_plug_in() {
+        // The model accepts empirical profiles too (via Dataset freqs).
+        let profile = BernoulliProfile::uniform(200, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = Dataset::generate(&profile, 2000, &mut rng);
+        let emp = BernoulliProfile::new(
+            ds.empirical_frequencies()
+                .into_iter()
+                .map(|p| p.clamp(1e-9, 1.0 - 1e-9))
+                .collect(),
+        )
+        .unwrap();
+        let b2 = expected_b2_independent(&emp);
+        assert!((b2 - 0.1).abs() < 0.01, "b2={b2}");
+    }
+}

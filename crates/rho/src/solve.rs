@@ -1,0 +1,102 @@
+//! Bracketed bisection for monotone residuals.
+//!
+//! Every exponent equation in the paper has the form `f(ρ) = 0` for an `f`
+//! that is *strictly decreasing* in `ρ` (each term is `c · p^ρ` with
+//! `0 < p < 1`, minus a constant). Bisection on a verified bracket is then
+//! exact up to floating-point resolution and immune to the flat-derivative
+//! pathologies that would trip Newton's method near `p → 1`.
+
+/// Result accuracy of the solvers (absolute, in ρ units).
+pub const TOL: f64 = 1e-12;
+
+/// Maximum bracket the root search will expand to.
+pub const RHO_MAX: f64 = 1e6;
+
+/// Finds the root of a strictly decreasing `f` on `[lo, ∞)`, expanding the
+/// upper bracket geometrically from `hi0`.
+///
+/// # Panics
+/// Panics if `f(lo) < 0` (no root at or above `lo`) or if no sign change is
+/// found below [`RHO_MAX`].
+pub fn root_decreasing(f: impl Fn(f64) -> f64, lo: f64, hi0: f64) -> f64 {
+    let flo = f(lo);
+    assert!(
+        flo >= -TOL,
+        "residual already negative at lower bracket: f({lo}) = {flo}"
+    );
+    if flo.abs() <= TOL {
+        return lo;
+    }
+    let mut hi = hi0.max(lo + TOL);
+    while f(hi) > 0.0 {
+        hi *= 2.0;
+        assert!(
+            hi <= RHO_MAX,
+            "no sign change found below {RHO_MAX}; equation has no root"
+        );
+    }
+    bisect(f, lo, hi)
+}
+
+/// Plain bisection on a verified bracket `f(lo) ≥ 0 ≥ f(hi)` of a decreasing
+/// function.
+pub fn bisect(f: impl Fn(f64) -> f64, mut lo: f64, mut hi: f64) -> f64 {
+    debug_assert!(lo <= hi);
+    // 200 halvings take any bracket below f64 resolution; exit early on TOL.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo < TOL {
+            return mid;
+        }
+        if f(mid) >= 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_linear() {
+        // f(x) = 1 - x, root at 1.
+        let r = root_decreasing(|x| 1.0 - x, 0.0, 0.5);
+        assert!((r - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solves_exponential() {
+        // f(ρ) = 0.25^ρ - 0.5, root at 0.5.
+        let r = root_decreasing(|r| 0.25f64.powf(r) - 0.5, 0.0, 1.0);
+        assert!((r - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn root_at_lower_bracket() {
+        let r = root_decreasing(|x| -x, 0.0, 1.0);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn expands_bracket() {
+        // Root at 100, initial hi = 1.
+        let r = root_decreasing(|x| 100.0 - x, 0.0, 1.0);
+        assert!((r - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already negative")]
+    fn rejects_negative_start() {
+        root_decreasing(|x| -1.0 - x, 0.0, 1.0);
+    }
+
+    #[test]
+    fn bisect_on_given_bracket() {
+        let r = bisect(|x| 2.0 - x * x, 0.0, 10.0);
+        assert!((r - 2f64.sqrt()).abs() < 1e-10);
+    }
+}

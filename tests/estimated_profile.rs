@@ -1,0 +1,82 @@
+//! §9 future-work feature: build the index from probabilities *estimated
+//! from the dataset itself* (occurrence counting + Laplace smoothing) and
+//! verify it matches the known-profile index's behaviour — the paper's
+//! conjecture that estimation "lead[s] to the same asymptotic bounds".
+
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch::core::{
+    CorrelatedIndex, CorrelatedParams, IndexOptions, Repetitions, SetSimilaritySearch,
+};
+use skewsearch::datagen::{correlated_query, BernoulliProfile, Dataset};
+
+#[test]
+fn estimated_profile_converges_to_truth() {
+    let profile = BernoulliProfile::two_block(600, 0.25, 0.02).unwrap();
+    let mut rng = StdRng::seed_from_u64(61);
+    let ds = Dataset::generate(&profile, 4000, &mut rng);
+    let est = ds.estimate_profile(0.5);
+    assert_eq!(est.d(), profile.d());
+    // Per-dimension relative error is within sampling noise.
+    for i in 0..profile.d() as u32 {
+        let (p, q) = (profile.p(i), est.p(i));
+        let sigma = (p * (1.0 - p) / 4000.0).sqrt();
+        assert!((p - q).abs() < 6.0 * sigma + 1e-3, "dim {i}: true {p} est {q}");
+    }
+    // Aggregates match closely.
+    assert!((est.sum_p() - profile.sum_p()).abs() / profile.sum_p() < 0.03);
+}
+
+#[test]
+fn estimation_keeps_unseen_dimensions_positive() {
+    let counts = vec![0u32, 10, 500];
+    let est = BernoulliProfile::estimate_from_counts(&counts, 1000, 0.5).unwrap();
+    assert!(est.p(0) > 0.0, "unseen dim must stay positive");
+    assert!((est.p(1) - 10.5 / 1001.0).abs() < 1e-12);
+    assert!(est.p(2) < 1.0);
+}
+
+#[test]
+fn index_from_estimated_profile_matches_known_profile_recall() {
+    let profile = BernoulliProfile::two_block(1400, 0.2, 0.025).unwrap();
+    let mut rng = StdRng::seed_from_u64(62);
+    let ds = Dataset::generate(&profile, 400, &mut rng);
+    let est = ds.estimate_profile(0.5);
+    let alpha = 0.8;
+    let opts = IndexOptions {
+        repetitions: Repetitions::Fixed(10),
+        ..IndexOptions::default()
+    };
+
+    let with_truth = CorrelatedIndex::build(
+        &ds,
+        &profile,
+        CorrelatedParams::new(alpha).unwrap().with_options(opts),
+        &mut rng,
+    );
+    let with_estimate = CorrelatedIndex::build(
+        &ds,
+        &est,
+        CorrelatedParams::new(alpha).unwrap().with_options(opts),
+        &mut rng,
+    );
+
+    let trials = 40;
+    let mut hits_truth = 0;
+    let mut hits_est = 0;
+    for t in 0..trials {
+        let target = (t * 9) % ds.n();
+        // Queries still come from the *true* model.
+        let q = correlated_query(ds.vector(target), &profile, alpha, &mut rng);
+        if with_truth.search(&q).map(|m| m.id) == Some(target) {
+            hits_truth += 1;
+        }
+        if with_estimate.search(&q).map(|m| m.id) == Some(target) {
+            hits_est += 1;
+        }
+    }
+    assert!(hits_truth >= trials * 4 / 5, "truth recall {hits_truth}/{trials}");
+    assert!(
+        hits_est + 4 >= hits_truth,
+        "estimated-profile recall {hits_est} far below known-profile {hits_truth}"
+    );
+}

@@ -1,0 +1,117 @@
+//! Join-level integration: index-driven joins versus the exact nested-loop
+//! oracle, across structures, with the parallel driver byte-identical to the
+//! sequential one.
+
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch::baselines::{BruteForce, PrefixFilterIndex};
+use skewsearch::core::{
+    CorrelatedIndex, CorrelatedParams, IndexOptions, Repetitions, SetSimilaritySearch,
+};
+use skewsearch::datagen::{correlated_query, BernoulliProfile, Dataset};
+use skewsearch::join::{
+    join_recall, nested_loop_join, self_join, similarity_join, similarity_join_parallel,
+};
+use skewsearch::sets::SparseVec;
+
+fn setup(seed: u64) -> (Dataset, BernoulliProfile, Vec<SparseVec>, f64) {
+    let profile = BernoulliProfile::two_block(1200, 0.2, 0.02).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = Dataset::generate(&profile, 300, &mut rng);
+    let alpha = 0.85;
+    let r: Vec<SparseVec> = (0..80)
+        .map(|t| {
+            if t % 2 == 0 {
+                correlated_query(ds.vector(t % ds.n()), &profile, alpha, &mut rng)
+            } else {
+                skewsearch::datagen::VectorSampler::new(&profile).sample(&mut rng)
+            }
+        })
+        .collect();
+    (ds, profile, r, alpha)
+}
+
+#[test]
+fn brute_index_join_is_exactly_the_nested_loop_join() {
+    let (ds, _, r, alpha) = setup(31);
+    let t = alpha / 1.3;
+    let index = BruteForce::new(ds.vectors().to_vec(), t);
+    let via_index = similarity_join(&r, &index);
+    let truth = nested_loop_join(&r, ds.vectors(), t);
+    assert_eq!(via_index.len(), truth.len());
+    assert_eq!(join_recall(&via_index, &truth), 1.0);
+}
+
+#[test]
+fn prefix_filter_join_is_exact() {
+    let (ds, _, r, alpha) = setup(32);
+    let t = alpha / 1.3;
+    let index = PrefixFilterIndex::build(&ds, t);
+    let via_index = similarity_join(&r, &index);
+    let truth = nested_loop_join(&r, ds.vectors(), t);
+    assert_eq!(join_recall(&via_index, &truth), 1.0, "prefix join lost pairs");
+    assert_eq!(via_index.len(), truth.len(), "prefix join invented pairs");
+}
+
+#[test]
+fn lsf_join_recall_and_parallel_determinism() {
+    let (ds, profile, r, alpha) = setup(33);
+    let mut rng = StdRng::seed_from_u64(77);
+    let index = CorrelatedIndex::build(
+        &ds,
+        &profile,
+        CorrelatedParams::new(alpha)
+            .unwrap()
+            .with_options(IndexOptions {
+                repetitions: Repetitions::Fixed(10),
+                ..IndexOptions::default()
+            }),
+        &mut rng,
+    );
+    let seq = similarity_join(&r, &index);
+    for threads in [2, 5, 16] {
+        assert_eq!(
+            similarity_join_parallel(&r, &index, threads),
+            seq,
+            "threads={threads}"
+        );
+    }
+    let truth = nested_loop_join(&r, ds.vectors(), index.threshold());
+    assert!(
+        join_recall(&seq, &truth) >= 0.8,
+        "recall={}",
+        join_recall(&seq, &truth)
+    );
+    for p in &seq {
+        assert!(p.similarity >= index.threshold());
+    }
+}
+
+#[test]
+fn self_join_finds_planted_duplicates() {
+    let profile = BernoulliProfile::two_block(1000, 0.2, 0.02).unwrap();
+    let mut rng = StdRng::seed_from_u64(34);
+    let mut vectors = Dataset::generate(&profile, 150, &mut rng)
+        .vectors()
+        .to_vec();
+    // Plant 10 exact duplicates at the end.
+    for k in 0..10 {
+        vectors.push(vectors[k * 7].clone());
+    }
+    let d = profile.d();
+    let ds = Dataset::from_vectors(vectors.clone(), d);
+    let index = BruteForce::new(ds.vectors().to_vec(), 0.95);
+    let pairs = self_join(ds.vectors(), &index);
+    // All 10 planted duplicate pairs must be present exactly once.
+    for k in 0..10usize {
+        let a = k * 7;
+        let b = 150 + k;
+        assert_eq!(
+            pairs
+                .iter()
+                .filter(|p| (p.r_id, p.s_id) == (a.min(b), a.max(b)))
+                .count(),
+            1,
+            "pair ({a},{b})"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end Theorem 1 check: the correlated index returns the planted
+//! α-correlated neighbor with high probability, across skew regimes and α
+//! values, and never returns anything below its verification threshold.
+
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch::core::{
+    CorrelatedIndex, CorrelatedParams, IndexOptions, Repetitions, SetSimilaritySearch,
+};
+use skewsearch::datagen::{correlated_query, BernoulliProfile, Dataset};
+
+fn recall_for(profile: &BernoulliProfile, alpha: f64, n: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = Dataset::generate(profile, n, &mut rng);
+    let index = CorrelatedIndex::build(
+        &ds,
+        profile,
+        CorrelatedParams::new(alpha)
+            .unwrap()
+            .with_options(IndexOptions {
+                repetitions: Repetitions::Fixed(10),
+                ..IndexOptions::default()
+            }),
+        &mut rng,
+    );
+    let trials = 40;
+    let mut hits = 0;
+    for t in 0..trials {
+        let target = (t * 17) % n;
+        let q = correlated_query(ds.vector(target), profile, alpha, &mut rng);
+        if index.search(&q).map(|m| m.id) == Some(target) {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+#[test]
+fn high_recall_on_skewed_profile() {
+    let profile = BernoulliProfile::two_block(1600, 0.2, 0.02).unwrap();
+    let r = recall_for(&profile, 0.8, 500, 1);
+    assert!(r >= 0.85, "recall={r}");
+}
+
+#[test]
+fn high_recall_on_uniform_profile() {
+    // Balanced case: the structure degenerates to ChosenPath behavior but
+    // must stay correct.
+    let profile = BernoulliProfile::uniform(480, 0.125).unwrap();
+    let r = recall_for(&profile, 0.8, 500, 2);
+    assert!(r >= 0.85, "recall={r}");
+}
+
+#[test]
+fn recall_survives_moderate_alpha() {
+    let profile = BernoulliProfile::two_block(1600, 0.2, 0.02).unwrap();
+    let r = recall_for(&profile, 0.6, 400, 3);
+    assert!(r >= 0.7, "recall={r}");
+}
+
+#[test]
+fn results_always_clear_threshold() {
+    let profile = BernoulliProfile::two_block(1200, 0.2, 0.03).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let ds = Dataset::generate(&profile, 300, &mut rng);
+    let alpha = 0.7;
+    let index = CorrelatedIndex::build(
+        &ds,
+        &profile,
+        CorrelatedParams::new(alpha).unwrap(),
+        &mut rng,
+    );
+    assert!((index.threshold() - alpha / 1.3).abs() < 1e-12);
+    for t in 0..30 {
+        let q = correlated_query(ds.vector(t), &profile, alpha, &mut rng);
+        for m in index.search_all(&q) {
+            assert!(m.similarity >= index.threshold());
+            let real = skewsearch::sets::similarity::braun_blanquet(ds.vector(m.id), &q);
+            assert!((real - m.similarity).abs() < 1e-12, "reported sim must be exact");
+        }
+    }
+}
+
+#[test]
+fn uncorrelated_queries_return_nothing() {
+    // Lemma 10 separation: independent draws sit at ~α/1.5 < α/1.3.
+    let profile = BernoulliProfile::two_block(1600, 0.2, 0.02).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let ds = Dataset::generate(&profile, 400, &mut rng);
+    let index = CorrelatedIndex::build(
+        &ds,
+        &profile,
+        CorrelatedParams::new(0.8).unwrap(),
+        &mut rng,
+    );
+    let sampler = skewsearch::datagen::VectorSampler::new(&profile);
+    let mut false_hits = 0;
+    for _ in 0..40 {
+        let q = sampler.sample(&mut rng);
+        if index.search(&q).is_some() {
+            false_hits += 1;
+        }
+    }
+    assert!(false_hits <= 1, "false hits: {false_hits}/40");
+}
