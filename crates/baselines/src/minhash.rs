@@ -13,7 +13,7 @@
 //! correspondence `J = B/(2−B)` that the paper invokes for fixed-weight
 //! vectors.
 
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use skewsearch_core::{Match, SetSimilaritySearch};
 use skewsearch_datagen::Dataset;
 use skewsearch_hashing::{FxHashMap, PairwiseU64};
@@ -101,11 +101,7 @@ pub struct MinHashLsh {
 
 impl MinHashLsh {
     /// Preprocesses the dataset: `O(n · L · r · d̄)` hashing.
-    pub fn build<R: Rng + ?Sized>(
-        dataset: &Dataset,
-        params: MinHashParams,
-        rng: &mut R,
-    ) -> Self {
+    pub fn build<R: Rng + ?Sized>(dataset: &Dataset, params: MinHashParams, rng: &mut R) -> Self {
         let (r, l) = params.plan(dataset.n());
         let mut seed_rng = rand::rngs::StdRng::seed_from_u64(rng.random::<u64>());
         let mut bands: Vec<Band> = (0..l)
@@ -280,16 +276,8 @@ mod tests {
         let profile = BernoulliProfile::uniform(400, 0.08).unwrap();
         let mut rng = StdRng::seed_from_u64(74);
         let ds = Dataset::generate(&profile, 300, &mut rng);
-        let strict = MinHashLsh::build(
-            &ds,
-            MinHashParams::new(0.9, 0.3).unwrap(),
-            &mut rng,
-        );
-        let loose = MinHashLsh::build(
-            &ds,
-            MinHashParams::new(0.4, 0.05).unwrap(),
-            &mut rng,
-        );
+        let strict = MinHashLsh::build(&ds, MinHashParams::new(0.9, 0.3).unwrap(), &mut rng);
+        let loose = MinHashLsh::build(&ds, MinHashParams::new(0.4, 0.05).unwrap(), &mut rng);
         let q = ds.vector(0).clone();
         // The loose plan uses shorter bands → drastically more candidates.
         assert!(loose.candidate_count(&q) >= strict.candidate_count(&q));

@@ -2,7 +2,9 @@
 //! (Theorem 2's `O(d n^{1+ρᵤ+ε})` build vs the baselines').
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use skewsearch_baselines::{ChosenPathIndex, ChosenPathParams, MinHashLsh, MinHashParams, PrefixFilterIndex};
+use skewsearch_baselines::{
+    ChosenPathIndex, ChosenPathParams, MinHashLsh, MinHashParams, PrefixFilterIndex,
+};
 use skewsearch_bench::{bench_dataset, bench_rng};
 use skewsearch_core::{
     AdversarialIndex, AdversarialParams, CorrelatedIndex, CorrelatedParams, IndexOptions,

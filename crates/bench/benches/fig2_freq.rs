@@ -9,7 +9,8 @@ fn bench_fig2(c: &mut Criterion) {
     g.bench_function("all_surrogates_n600", |b| {
         b.iter(|| black_box(fig2::from_surrogates(black_box(600), 7)))
     });
-    let (ds, _) = skewsearch_datagen::surrogate_catalog()[1].generate(2000, &mut skewsearch_bench::bench_rng());
+    let (ds, _) = skewsearch_datagen::surrogate_catalog()[1]
+        .generate(2000, &mut skewsearch_bench::bench_rng());
     g.bench_function("freq_plot_of_loaded_dataset", |b| {
         b.iter(|| black_box(fig2::from_dataset("bench", black_box(&ds))))
     });

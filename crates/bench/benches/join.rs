@@ -39,13 +39,7 @@ fn bench_join(c: &mut Criterion) {
         b.iter(|| black_box(similarity_join_parallel(black_box(&r), &index, 4)))
     });
     g.bench_function("nested_loop_exact", |b| {
-        b.iter(|| {
-            black_box(nested_loop_join(
-                black_box(&r),
-                ds.vectors(),
-                ALPHA / 1.3,
-            ))
-        })
+        b.iter(|| black_box(nested_loop_join(black_box(&r), ds.vectors(), ALPHA / 1.3)))
     });
     g.finish();
 }

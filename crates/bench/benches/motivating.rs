@@ -22,7 +22,10 @@ fn bench_motivating(c: &mut Criterion) {
     });
     g.finish();
 
-    println!("\n{}", motivating::compute(100_000, 0.5).table().render_tsv());
+    println!(
+        "\n{}",
+        motivating::compute(100_000, 0.5).table().render_tsv()
+    );
 }
 
 criterion_group! {

@@ -2,7 +2,7 @@
 //! sampling (skip vs naive), and internal hashing (Fx vs SipHash).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::RngExt;
+use rand::Rng;
 use skewsearch_bench::bench_rng;
 use skewsearch_datagen::{BernoulliProfile, VectorSampler};
 use skewsearch_hashing::FxHashMap;
@@ -49,7 +49,9 @@ fn bench_samplers(c: &mut Criterion) {
 }
 
 fn bench_hashmaps(c: &mut Criterion) {
-    let keys: Vec<u128> = (0..20_000u128).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    let keys: Vec<u128> = (0..20_000u128)
+        .map(|i| i.wrapping_mul(0x9E3779B9))
+        .collect();
     let mut g = c.benchmark_group("bucket_map_u128");
     g.bench_function("fx_hashmap", |b| {
         b.iter(|| {

@@ -134,10 +134,12 @@ mod tests {
         assert!(b1 > 0.5, "planted pair should be very similar, b1={b1}");
         ds = Dataset::from_vectors(ds.vectors().to_vec(), ds.d());
 
-        let params = AdversarialParams::new(b1).unwrap().with_options(IndexOptions {
-            repetitions: Repetitions::Fixed(12),
-            ..IndexOptions::default()
-        });
+        let params = AdversarialParams::new(b1)
+            .unwrap()
+            .with_options(IndexOptions {
+                repetitions: Repetitions::Fixed(12),
+                ..IndexOptions::default()
+            });
         let index = AdversarialIndex::build(&ds, &profile, params, &mut rng);
         let hit = index.search(&q);
         assert!(hit.is_some(), "planted pair not found");
@@ -156,10 +158,12 @@ mod tests {
         let profile = BernoulliProfile::two_block(400, 0.25, 0.002).unwrap();
         let mut rng = StdRng::seed_from_u64(32);
         let ds = Dataset::generate(&profile, 100, &mut rng);
-        let params = AdversarialParams::new(0.4).unwrap().with_options(IndexOptions {
-            repetitions: Repetitions::Fixed(2),
-            ..IndexOptions::default()
-        });
+        let params = AdversarialParams::new(0.4)
+            .unwrap()
+            .with_options(IndexOptions {
+                repetitions: Repetitions::Fixed(2),
+                ..IndexOptions::default()
+            });
         let index = AdversarialIndex::build(&ds, &profile, params, &mut rng);
         // A query of frequent bits vs a query of rare bits.
         let q_freq = SparseVec::from_unsorted((0..40).collect());
@@ -177,10 +181,12 @@ mod tests {
         let profile = BernoulliProfile::uniform(300, 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(33);
         let ds = Dataset::generate(&profile, 200, &mut rng);
-        let params = AdversarialParams::new(0.6).unwrap().with_options(IndexOptions {
-            repetitions: Repetitions::Fixed(4),
-            ..IndexOptions::default()
-        });
+        let params = AdversarialParams::new(0.6)
+            .unwrap()
+            .with_options(IndexOptions {
+                repetitions: Repetitions::Fixed(4),
+                ..IndexOptions::default()
+            });
         let index = AdversarialIndex::build(&ds, &profile, params, &mut rng);
         let sampler = skewsearch_datagen::VectorSampler::new(&profile);
         for _ in 0..25 {

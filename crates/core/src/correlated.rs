@@ -180,9 +180,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(41);
         let ds = Dataset::generate(&profile, 400, &mut rng);
         let alpha = 0.8;
-        let params = CorrelatedParams::new(alpha)
-            .unwrap()
-            .with_options(opts(10));
+        let params = CorrelatedParams::new(alpha).unwrap().with_options(opts(10));
         let index = CorrelatedIndex::build(&ds, &profile, params, &mut rng);
         let trials = 50;
         let mut hits = 0;
@@ -241,7 +239,9 @@ mod tests {
         let profile = BernoulliProfile::two_block(300, 0.25, 0.25 / 8.0).unwrap();
         let mut rng = StdRng::seed_from_u64(45);
         let ds = Dataset::generate(&profile, 100, &mut rng);
-        let params = CorrelatedParams::new(2.0 / 3.0).unwrap().with_options(opts(1));
+        let params = CorrelatedParams::new(2.0 / 3.0)
+            .unwrap()
+            .with_options(opts(1));
         let index = CorrelatedIndex::build(&ds, &profile, params, &mut rng);
         let direct = rho_correlated(&profile, 2.0 / 3.0);
         assert!((index.predicted_rho() - direct).abs() < 1e-12);

@@ -219,7 +219,10 @@ mod tests {
         enumerate_filters(&b, &p, &scheme, &h, DEFAULT_NODE_BUDGET, &mut fb);
         let sa: std::collections::HashSet<_> = fa.iter().collect();
         assert!(fb.iter().all(|k| !sa.contains(k)));
-        assert!(!fa.is_empty() && !fb.is_empty(), "test should be non-vacuous");
+        assert!(
+            !fa.is_empty() && !fb.is_empty(),
+            "test should be non-vacuous"
+        );
     }
 
     #[test]

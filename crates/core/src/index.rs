@@ -12,7 +12,7 @@
 use crate::engine::{enumerate_filters, EnumStats, DEFAULT_NODE_BUDGET};
 use crate::scheme::ThresholdScheme;
 use crate::traits::{Match, SetSimilaritySearch};
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use skewsearch_datagen::BernoulliProfile;
 use skewsearch_hashing::{FxHashMap, FxHashSet, PathHasherStack};
 use skewsearch_sets::{similarity, SparseVec};
@@ -57,7 +57,7 @@ pub struct IndexOptions {
     /// Per-vector node budget for path enumeration.
     pub node_budget: usize,
     /// Build threads. `1` = sequential; more parallelizes filter enumeration
-    /// across vectors (crossbeam scoped threads). The built index is
+    /// across vectors (std scoped threads). The built index is
     /// **identical** for any thread count: chunks are merged in id order.
     pub build_threads: usize,
 }
@@ -126,7 +126,7 @@ struct ChunkFilters {
 }
 
 /// Enumerates `F(x)` for every vector, optionally fanning out over
-/// contiguous id chunks with crossbeam scoped threads. Chunks are returned
+/// contiguous id chunks with std scoped threads. Chunks are returned
 /// in id order, so downstream merging is thread-count independent.
 fn enumerate_chunked<S: ThresholdScheme + Sync>(
     vectors: &[SparseVec],
@@ -164,13 +164,13 @@ fn enumerate_chunked<S: ThresholdScheme + Sync>(
         return vec![enumerate_chunk(0, vectors)];
     }
     let chunk_len = vectors.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = vectors
             .chunks(chunk_len)
             .enumerate()
             .map(|(c, slice)| {
                 let f = &enumerate_chunk;
-                scope.spawn(move |_| f(c * chunk_len, slice))
+                scope.spawn(move || f(c * chunk_len, slice))
             })
             .collect();
         handles
@@ -178,7 +178,6 @@ fn enumerate_chunked<S: ThresholdScheme + Sync>(
             .map(|h| h.join().expect("build worker panicked"))
             .collect()
     })
-    .expect("crossbeam scope")
 }
 
 /// A locality-sensitive filtering index over a dataset, generic in the
@@ -231,8 +230,7 @@ impl<S: ThresholdScheme> LsfIndex<S> {
         // thread count: chunk results are merged in id order).
         let mut reps = Vec::with_capacity(r);
         for _ in 0..r {
-            let mut stack_rng =
-                rand::rngs::StdRng::seed_from_u64(rng.random::<u64>());
+            let mut stack_rng = rand::rngs::StdRng::seed_from_u64(rng.random::<u64>());
             let hashers = PathHasherStack::sample(&mut stack_rng, depth);
             let chunks = enumerate_chunked(
                 &vectors,

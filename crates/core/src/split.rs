@@ -88,7 +88,10 @@ pub fn balance_split_normalized(
     let eps = 1e-12;
     let mut lo = (i1 - frac_r).max(0.0) + eps;
     let mut hi = i1.min(frac_f) - eps;
-    assert!(lo < hi, "infeasible split: i1={i1} frac_f={frac_f} frac_r={frac_r}");
+    assert!(
+        lo < hi,
+        "infeasible split: i1={i1} frac_f={frac_f} frac_r={frac_r}"
+    );
     // rho_f decreases and rho_r increases in l; bisect the crossing.
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
@@ -150,14 +153,7 @@ impl SplitIndex {
         let i_f: f64 = ps[..cut as usize].iter().map(|p| p * p).sum::<f64>() / w;
         let i_r: f64 = ps[cut as usize..].iter().map(|p| p * p).sum::<f64>() / w;
         let ell = params.ell.unwrap_or_else(|| {
-            balance_split_normalized(
-                i_f.min(0.999),
-                i_r.min(0.999),
-                params.i1,
-                w_f / w,
-                w_r / w,
-            )
-            .0
+            balance_split_normalized(i_f.min(0.999), i_r.min(0.999), params.i1, w_f / w, w_r / w).0
         });
         assert!(
             ell > 0.0 && ell < params.i1,
@@ -166,10 +162,10 @@ impl SplitIndex {
         let b_f = (ell * w / w_f).clamp(1e-6, 1.0);
         let b_r = ((params.i1 - ell) * w / w_r).clamp(1e-6, 1.0);
 
-        let freq_profile = BernoulliProfile::new(ps[..cut as usize].to_vec())
-            .expect("frequent sub-profile");
-        let rare_profile = BernoulliProfile::new(ps[cut as usize..].to_vec())
-            .expect("rare sub-profile");
+        let freq_profile =
+            BernoulliProfile::new(ps[..cut as usize].to_vec()).expect("frequent sub-profile");
+        let rare_profile =
+            BernoulliProfile::new(ps[cut as usize..].to_vec()).expect("rare sub-profile");
 
         let mut freq_vecs = Vec::with_capacity(dataset.n());
         let mut rare_vecs = Vec::with_capacity(dataset.n());

@@ -7,7 +7,7 @@
 
 use crate::profile::BernoulliProfile;
 use crate::sampler::VectorSampler;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use skewsearch_sets::SparseVec;
 
 /// Draws `q ~ D_α(x)`.
@@ -198,10 +198,7 @@ mod tests {
             })
             .sum::<f64>()
             / trials as f64;
-        assert!(
-            (mean - expect).abs() < 0.5,
-            "mean={mean} expect={expect}"
-        );
+        assert!((mean - expect).abs() < 0.5, "mean={mean} expect={expect}");
     }
 
     #[test]

@@ -15,11 +15,7 @@ pub struct Dataset {
 
 impl Dataset {
     /// Samples `n` vectors independently from `profile`.
-    pub fn generate<R: Rng + ?Sized>(
-        profile: &BernoulliProfile,
-        n: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn generate<R: Rng + ?Sized>(profile: &BernoulliProfile, n: usize, rng: &mut R) -> Self {
         let sampler = VectorSampler::new(profile);
         let vectors = (0..n).map(|_| sampler.sample(rng)).collect();
         Self {

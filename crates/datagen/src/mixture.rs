@@ -13,7 +13,7 @@
 
 use crate::profile::BernoulliProfile;
 use crate::sampler::VectorSampler;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use skewsearch_sets::SparseVec;
 
 /// A mixture of a base [`BernoulliProfile`] with additive dimension clusters.
@@ -145,7 +145,12 @@ mod tests {
         let ds = strong.generate(4000, 400, &mut rng);
         let r = independence_ratios(&ds);
         assert!(r.ratio2 > 1.5, "ratio2={}", r.ratio2);
-        assert!(r.ratio3 > r.ratio2, "ratio3={} ratio2={}", r.ratio3, r.ratio2);
+        assert!(
+            r.ratio3 > r.ratio2,
+            "ratio3={} ratio2={}",
+            r.ratio3,
+            r.ratio2
+        );
     }
 
     #[test]

@@ -108,12 +108,7 @@ impl BernoulliProfile {
     /// The scale constant is found by monotone bisection because clamping
     /// interacts with scaling (§8 notes real profiles look piecewise-Zipfian
     /// with a clamped head).
-    pub fn zipf(
-        d: usize,
-        s: f64,
-        target_weight: f64,
-        max_p: f64,
-    ) -> Result<Self, ProfileError> {
+    pub fn zipf(d: usize, s: f64, target_weight: f64, max_p: f64) -> Result<Self, ProfileError> {
         let raw: Vec<f64> = (0..d).map(|j| (j as f64 + 1.0).powf(-s)).collect();
         Self::scaled_to_weight(raw, target_weight, max_p)
     }
@@ -359,8 +354,7 @@ mod tests {
 
     #[test]
     fn piecewise_zipf_is_continuous_and_scaled() {
-        let p =
-            BernoulliProfile::piecewise_zipf(&[(100, 0.5), (900, 1.5)], 8.0, 0.5).unwrap();
+        let p = BernoulliProfile::piecewise_zipf(&[(100, 0.5), (900, 1.5)], 8.0, 0.5).unwrap();
         assert!((p.sum_p() - 8.0).abs() < 1e-6);
         assert!(p.is_sorted_desc(), "piecewise curve must be non-increasing");
         // Local log-log slope ≈ -s within each segment (measured away from

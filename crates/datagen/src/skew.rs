@@ -144,7 +144,7 @@ mod tests {
         assert_eq!(p0.rank, 1);
         assert!((p0.rank_frac - 0.01).abs() < 1e-12);
         assert_eq!(p0.log_rank, 0.0); // log 1 = 0
-        // y = 1 + ln(0.1)/ln(10000) = 1 - 0.25 = 0.75.
+                                      // y = 1 + ln(0.1)/ln(10000) = 1 - 0.25 = 0.75.
         assert!((p0.y - 0.75).abs() < 1e-12, "y={}", p0.y);
     }
 

@@ -2,13 +2,10 @@
 
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
-use skewsearch_datagen::{
-    correlated_query, loader, BernoulliProfile, Dataset, VectorSampler,
-};
+use skewsearch_datagen::{correlated_query, loader, BernoulliProfile, Dataset, VectorSampler};
 
 fn arb_profile() -> impl Strategy<Value = BernoulliProfile> {
-    prop::collection::vec(0.002f64..0.5, 2..120)
-        .prop_map(|ps| BernoulliProfile::new(ps).unwrap())
+    prop::collection::vec(0.002f64..0.5, 2..120).prop_map(|ps| BernoulliProfile::new(ps).unwrap())
 }
 
 proptest! {

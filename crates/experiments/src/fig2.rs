@@ -56,7 +56,13 @@ impl Fig2 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Figure 2: frequency distributions, y = 1 + log_n p_j",
-            &["dataset", "rank_j", "j/d (left x)", "log_d j (right x)", "y"],
+            &[
+                "dataset",
+                "rank_j",
+                "j/d (left x)",
+                "log_d j (right x)",
+                "y",
+            ],
         );
         for plot in &self.plots {
             for p in &plot.points {

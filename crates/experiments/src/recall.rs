@@ -7,7 +7,7 @@
 //! alongside (the measured curve should dominate it — the bound is loose).
 
 use crate::table::{fmt, Table};
-use rand::{rngs::StdRng, RngExt, SeedableRng};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use skewsearch_core::{
     CorrelatedIndex, CorrelatedParams, IndexOptions, Repetitions, SetSimilaritySearch,
 };
@@ -66,9 +66,11 @@ pub struct RecallCurve {
 pub fn run(config: &RecallConfig) -> RecallCurve {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mass = config.c * (config.n as f64).ln();
-    let profile =
-        BernoulliProfile::blocks(&[((mass / 2.0 / 0.25).ceil() as usize, 0.25), ((mass / 2.0 / 0.03).ceil() as usize, 0.03)])
-            .unwrap();
+    let profile = BernoulliProfile::blocks(&[
+        ((mass / 2.0 / 0.25).ceil() as usize, 0.25),
+        ((mass / 2.0 / 0.03).ceil() as usize, 0.03),
+    ])
+    .unwrap();
     let ds = Dataset::generate(&profile, config.n, &mut rng);
     let ln_n = (config.n as f64).ln();
     let mut points = Vec::new();

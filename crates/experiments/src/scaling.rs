@@ -13,11 +13,11 @@
 //! * brute force is exponent 1 by construction.
 
 use crate::table::{fmt, Table};
-use rand::{rngs::StdRng, RngExt, SeedableRng};
-use skewsearch_baselines::{ChosenPathIndex, ChosenPathParams, MinHashLsh, MinHashParams, PrefixFilterIndex};
-use skewsearch_core::{
-    CorrelatedIndex, CorrelatedParams, IndexOptions, Repetitions,
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use skewsearch_baselines::{
+    ChosenPathIndex, ChosenPathParams, MinHashLsh, MinHashParams, PrefixFilterIndex,
 };
+use skewsearch_core::{CorrelatedIndex, CorrelatedParams, IndexOptions, Repetitions};
 use skewsearch_datagen::{correlated_query, skew::least_squares_slope, BernoulliProfile, Dataset};
 
 /// Sweep configuration.
@@ -117,7 +117,9 @@ pub fn run(config: &ScalingConfig) -> Scaling {
         let ours = CorrelatedIndex::build(
             &ds,
             &profile,
-            CorrelatedParams::new(config.alpha).unwrap().with_options(opts),
+            CorrelatedParams::new(config.alpha)
+                .unwrap()
+                .with_options(opts),
             &mut rng,
         );
         let cp = ChosenPathIndex::build(
@@ -350,7 +352,11 @@ mod tests {
         let s = tiny_sweep(8.0, 2);
         let e = s.fitted_exponent("ours");
         assert!(e < 0.85, "fitted exponent {e} not sublinear");
-        assert!(s.mean_recall("ours") >= 0.75, "recall {}", s.mean_recall("ours"));
+        assert!(
+            s.mean_recall("ours") >= 0.75,
+            "recall {}",
+            s.mean_recall("ours")
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub fn sec71_adversarial(n: usize) -> Vec<ExampleRow> {
     // Example 1: b1 = 1/3.
     let b1 = 1.0 / 3.0;
     rows.push(ExampleRow {
-        label: format!("7.1a: pa=1/4, pb=n^-0.9, b1=1/3 (n=2^{})", nf.log2().round()),
+        label: format!(
+            "7.1a: pa=1/4, pb=n^-0.9, b1=1/3 (n=2^{})",
+            nf.log2().round()
+        ),
         rho_ours: rho_adversarial_query_blocks(&[(1.0, pa), (1.0, pb)], b1),
         rho_chosen_path: rho_chosen_path(b1, 1.0 / 8.0),
         rho_prefix: 1.0, // "no non-trivial (worst-case) performance guarantee"
@@ -60,7 +63,10 @@ pub fn sec71_adversarial(n: usize) -> Vec<ExampleRow> {
     // Example 2: b1 = 2/3 — paths forced through rare bits.
     let b1 = 2.0 / 3.0;
     rows.push(ExampleRow {
-        label: format!("7.1b: pa=1/4, pb=n^-0.9, b1=2/3 (n=2^{})", nf.log2().round()),
+        label: format!(
+            "7.1b: pa=1/4, pb=n^-0.9, b1=2/3 (n=2^{})",
+            nf.log2().round()
+        ),
         rho_ours: rho_adversarial_query_blocks(&[(1.0, pa), (1.0, pb)], b1),
         rho_chosen_path: rho_chosen_path(b1, 1.0 / 8.0),
         rho_prefix: prefix_filter_exponent(pb, n),
@@ -81,10 +87,7 @@ pub fn sec72_correlated(n: usize, c: f64) -> Vec<ExampleRow> {
     // Example 1: 4C log n bits at 1/4, n^{9/10} C log n bits at n^{-9/10}.
     let pa = 0.25;
     let pb = nf.powf(-0.9);
-    let blocks = [
-        (4.0 * c * log_n, pa),
-        (nf.powf(0.9) * c * log_n, pb),
-    ];
+    let blocks = [(4.0 * c * log_n, pa), (nf.powf(0.9) * c * log_n, pb)];
     let b1 = expected_b1_correlated_blocks(&blocks, alpha);
     let b2 = expected_b2_independent_blocks(&blocks);
     rows.push(ExampleRow {

@@ -29,8 +29,8 @@
 
 pub mod fx;
 pub mod mix;
-pub mod path;
 pub mod pairwise;
+pub mod path;
 pub mod tabulation;
 
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};

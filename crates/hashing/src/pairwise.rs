@@ -14,7 +14,7 @@
 //! strongly universal in the pair `(x_hi, x_lo)`.
 
 use crate::mix::to_unit_f64;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Strongly universal hash on `u64` keys via 128-bit multiply-shift.
 #[derive(Clone, Copy, Debug)]

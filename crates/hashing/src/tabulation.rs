@@ -8,7 +8,7 @@
 //! family choice.
 
 use crate::mix::to_unit_f64;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Simple tabulation hash on `u64` keys: 8 tables of 256 random words; the
 /// hash is the XOR of one lookup per key byte.

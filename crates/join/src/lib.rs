@@ -44,7 +44,7 @@ pub fn similarity_join<I: SetSimilaritySearch>(r: &[SparseVec], index: &I) -> Ve
 }
 
 /// Parallel [`similarity_join`]: splits `R` into `threads` contiguous chunks
-/// probed concurrently (crossbeam scoped threads), concatenating results in
+/// probed concurrently (std scoped threads), concatenating results in
 /// chunk order so output is identical to the sequential join.
 pub fn similarity_join_parallel<I: SetSimilaritySearch + Sync>(
     r: &[SparseVec],
@@ -62,11 +62,11 @@ pub fn similarity_join_parallel<I: SetSimilaritySearch + Sync>(
         .map(|(c, s)| (c * chunk, s))
         .collect();
     let mut results: Vec<Vec<JoinPair>> = Vec::with_capacity(chunks.len());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|&(base, slice)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut part = similarity_join(slice, index);
                     for p in &mut part {
                         p.r_id += base;
@@ -78,8 +78,7 @@ pub fn similarity_join_parallel<I: SetSimilaritySearch + Sync>(
         for h in handles {
             results.push(h.join().expect("join worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     results.into_iter().flatten().collect()
 }
 

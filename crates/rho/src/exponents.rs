@@ -82,11 +82,7 @@ pub fn rho_adversarial_query_blocks(blocks: &[(f64, f64)], b1: f64) -> f64 {
     assert!(b1 > 0.0 && b1 < 1.0, "b1 must lie in (0,1), got {b1}");
     let q_len: f64 = blocks.iter().map(|&(w, _)| w).sum();
     let f = |rho: f64| -> f64 {
-        blocks
-            .iter()
-            .map(|&(w, p)| w * p.powf(rho))
-            .sum::<f64>()
-            - b1 * q_len
+        blocks.iter().map(|&(w, p)| w * p.powf(rho)).sum::<f64>() - b1 * q_len
     };
     root_decreasing(f, 0.0, 1.0)
 }

@@ -27,7 +27,7 @@
 
 #![warn(missing_docs)]
 
-mod sparse;
 pub mod similarity;
+mod sparse;
 
 pub use sparse::{SparseVec, GALLOP_RATIO};

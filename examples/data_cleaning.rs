@@ -12,7 +12,7 @@
 //! cargo run --release --example data_cleaning
 //! ```
 
-use rand::{rngs::StdRng, RngExt, SeedableRng};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use skewsearch::baselines::{BruteForce, PrefixFilterIndex};
 use skewsearch::core::{
     AdversarialIndex, AdversarialParams, IndexOptions, Repetitions, SetSimilaritySearch,

@@ -17,8 +17,8 @@ fn main() {
     // A skewed universe in the style of the paper's Figure 1: a small block
     // of frequent dimensions and a large block of rare ones.
     let n = 20_000;
-    let profile = BernoulliProfile::blocks(&[(320, 0.25), (25_600, 1.0 / 320.0)])
-        .expect("valid profile");
+    let profile =
+        BernoulliProfile::blocks(&[(320, 0.25), (25_600, 1.0 / 320.0)]).expect("valid profile");
     println!(
         "universe d = {}, expected set size Σp = {:.1}, C = Σp/ln n = {:.1}",
         profile.d(),

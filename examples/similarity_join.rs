@@ -25,8 +25,7 @@ fn main() {
     let n_s = 10_000;
     let n_r = 1_000;
     let alpha = 0.8;
-    let profile = BernoulliProfile::blocks(&[(240, 0.25), (12_000, 1.0 / 200.0)])
-        .expect("profile");
+    let profile = BernoulliProfile::blocks(&[(240, 0.25), (12_000, 1.0 / 200.0)]).expect("profile");
     let s = Dataset::generate(&profile, n_s, &mut rng);
     let sampler = skewsearch::datagen::VectorSampler::new(&profile);
     let r: Vec<SparseVec> = (0..n_r)
@@ -76,5 +75,8 @@ fn main() {
         truth.len(),
         t_exact.as_secs_f64() / t_seq.as_secs_f64().max(1e-9)
     );
-    println!("join recall vs exact: {:.1}%", 100.0 * join_recall(&seq, &truth));
+    println!(
+        "join recall vs exact: {:.1}%",
+        100.0 * join_recall(&seq, &truth)
+    );
 }

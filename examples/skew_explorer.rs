@@ -18,7 +18,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let head_p: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.25);
     let divisor: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8.0);
-    let alpha: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.0 / 3.0);
+    let alpha: f64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0 / 3.0);
     assert!(head_p > 0.0 && head_p < 1.0, "head_p in (0,1)");
     assert!(divisor >= 1.0, "divisor >= 1");
     assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");

@@ -2,7 +2,7 @@
 //! `b₁`-similar pair for queries the model never saw, adapts its cost to the
 //! query's difficulty, and stays exact on verification.
 
-use rand::{rngs::StdRng, RngExt, SeedableRng};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use skewsearch::core::{
     AdversarialIndex, AdversarialParams, IndexOptions, Repetitions, SetSimilaritySearch,
 };

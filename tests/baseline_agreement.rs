@@ -121,12 +121,14 @@ fn no_structure_invents_matches() {
     // a robust API must simply find nothing. Restrict to in-universe dims
     // that no data vector is likely to fully share:
     let q_in = SparseVec::from_unsorted((0..f.ds.d() as u32).rev().take(3).collect());
-    assert!(ours.search(&q_in).is_none() || {
-        // If something was returned it must genuinely clear the threshold.
-        let m = ours.search(&q_in).unwrap();
-        skewsearch::sets::similarity::braun_blanquet(f.ds.vector(m.id), &q_in)
-            >= ours.threshold()
-    });
+    assert!(
+        ours.search(&q_in).is_none() || {
+            // If something was returned it must genuinely clear the threshold.
+            let m = ours.search(&q_in).unwrap();
+            skewsearch::sets::similarity::braun_blanquet(f.ds.vector(m.id), &q_in)
+                >= ours.threshold()
+        }
+    );
     let brute = BruteForce::new(f.ds.vectors().to_vec(), 0.99);
     assert!(brute.search(&q_in).is_none());
     let _ = q;

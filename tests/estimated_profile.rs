@@ -20,7 +20,10 @@ fn estimated_profile_converges_to_truth() {
     for i in 0..profile.d() as u32 {
         let (p, q) = (profile.p(i), est.p(i));
         let sigma = (p * (1.0 - p) / 4000.0).sqrt();
-        assert!((p - q).abs() < 6.0 * sigma + 1e-3, "dim {i}: true {p} est {q}");
+        assert!(
+            (p - q).abs() < 6.0 * sigma + 1e-3,
+            "dim {i}: true {p} est {q}"
+        );
     }
     // Aggregates match closely.
     assert!((est.sum_p() - profile.sum_p()).abs() / profile.sum_p() < 0.03);
@@ -74,7 +77,10 @@ fn index_from_estimated_profile_matches_known_profile_recall() {
             hits_est += 1;
         }
     }
-    assert!(hits_truth >= trials * 4 / 5, "truth recall {hits_truth}/{trials}");
+    assert!(
+        hits_truth >= trials * 4 / 5,
+        "truth recall {hits_truth}/{trials}"
+    );
     assert!(
         hits_est + 4 >= hits_truth,
         "estimated-profile recall {hits_est} far below known-profile {hits_truth}"

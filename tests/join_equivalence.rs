@@ -48,7 +48,11 @@ fn prefix_filter_join_is_exact() {
     let index = PrefixFilterIndex::build(&ds, t);
     let via_index = similarity_join(&r, &index);
     let truth = nested_loop_join(&r, ds.vectors(), t);
-    assert_eq!(join_recall(&via_index, &truth), 1.0, "prefix join lost pairs");
+    assert_eq!(
+        join_recall(&via_index, &truth),
+        1.0,
+        "prefix join lost pairs"
+    );
     assert_eq!(via_index.len(), truth.len(), "prefix join invented pairs");
 }
 

@@ -75,7 +75,10 @@ fn results_always_clear_threshold() {
         for m in index.search_all(&q) {
             assert!(m.similarity >= index.threshold());
             let real = skewsearch::sets::similarity::braun_blanquet(ds.vector(m.id), &q);
-            assert!((real - m.similarity).abs() < 1e-12, "reported sim must be exact");
+            assert!(
+                (real - m.similarity).abs() < 1e-12,
+                "reported sim must be exact"
+            );
         }
     }
 }
@@ -86,12 +89,8 @@ fn uncorrelated_queries_return_nothing() {
     let profile = BernoulliProfile::two_block(1600, 0.2, 0.02).unwrap();
     let mut rng = StdRng::seed_from_u64(5);
     let ds = Dataset::generate(&profile, 400, &mut rng);
-    let index = CorrelatedIndex::build(
-        &ds,
-        &profile,
-        CorrelatedParams::new(0.8).unwrap(),
-        &mut rng,
-    );
+    let index =
+        CorrelatedIndex::build(&ds, &profile, CorrelatedParams::new(0.8).unwrap(), &mut rng);
     let sampler = skewsearch::datagen::VectorSampler::new(&profile);
     let mut false_hits = 0;
     for _ in 0..40 {

@@ -15,9 +15,7 @@ fn figure1_red_line_sits_below_blue_line_with_real_gap() {
     let mid = fig
         .points
         .iter()
-        .min_by(|a, b| {
-            (a.p - 0.5).abs().partial_cmp(&(b.p - 0.5).abs()).unwrap()
-        })
+        .min_by(|a, b| (a.p - 0.5).abs().partial_cmp(&(b.p - 0.5).abs()).unwrap())
         .unwrap();
     assert!((mid.rho_ours - 0.224).abs() < 0.01, "ours={}", mid.rho_ours);
     assert!(

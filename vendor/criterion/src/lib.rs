@@ -1,0 +1,228 @@
+//! Offline, vendored stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface this workspace's benches use — `Criterion`
+//! builder methods, `benchmark_group`/`bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple warm-up + timed-samples loop that prints the mean
+//! wall-clock time per iteration. No statistics, plots, or CLI filtering;
+//! `--bench`-style extra args are accepted and ignored so `cargo bench`
+//! invocations pass through.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state and configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time spent running the routine untimed before sampling.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Target total time across all timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepts and ignores harness CLI arguments (kept for API parity).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.clone(), name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: self.clone(),
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    config: Criterion,
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.config.clone(), &format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            self.config.clone(),
+            &format!("{}/{}", self.name, id.label),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean time per iteration, filled in by [`Bencher::iter`].
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up until the configured warm-up budget is
+    /// spent, then `sample_size` timed samples spread over the measurement
+    /// budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Aim for the measurement budget overall; at least 1 iter per sample.
+        let iters_per_sample = ((self.measurement_time.as_secs_f64()
+            / self.sample_size as f64
+            / per_iter.max(1e-9)) as u64)
+            .max(1);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            iters += iters_per_sample;
+        }
+        self.mean = Some(Duration::from_secs_f64(
+            total.as_secs_f64() / iters.max(1) as f64,
+        ));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: Criterion, name: &str, mut f: F) {
+    let mut b = Bencher {
+        warm_up_time: config.warm_up_time,
+        sample_size: config.sample_size,
+        measurement_time: config.measurement_time,
+        mean: None,
+    };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => println!("{name:<56} mean {mean:>12.3?}/iter"),
+        None => println!("{name:<56} (no iter() call)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_paths_compose() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 7), &3u32, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,432 @@
+//! Offline, vendored stand-in for the `proptest` crate.
+//!
+//! Implements exactly the surface this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * [`Strategy`] with [`Strategy::prop_map`],
+//! * `any::<T>()`, numeric range strategies, tuple strategies, and
+//!   `prop::collection::vec`.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports its
+//! deterministic seed instead so it can be replayed), and generation is
+//! driven by the vendored [`rand`] crate. Case counts and rejection limits
+//! follow [`ProptestConfig`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message describes it.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+}
+
+/// Result type produced by the body of each generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no shrinking tree; `generate` directly
+/// produces a value from the RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_standard!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Arbitrary for f64 {
+    /// Finite doubles spanning many magnitudes (uniform bit patterns would
+    /// mostly be astronomically large; mix scales instead).
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mantissa = rng.random::<f64>() * 2.0 - 1.0;
+        let exp = rng.random_range(-64i32..=64) as f64;
+        mantissa * exp.exp2()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length distribution for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Stable 64-bit FNV-1a over the test name: per-test deterministic seed base.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `body` against `config.cases` generated cases. Used by the
+/// [`proptest!`] macro; not part of the public API of real proptest.
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> TestCaseResult,
+{
+    let base = seed_for(test_name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while passed < config.cases {
+        let seed = base.wrapping_add(case);
+        case += 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{test_name}': too many prop_assume! rejections \
+                         ({rejected}) before reaching {} cases",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{test_name}' failed at case #{} (replay seed {seed:#x}):\n{msg}",
+                    passed + 1
+                );
+            }
+        }
+    }
+}
+
+/// Formats a failed binary assertion for [`prop_assert_eq!`]/`_ne!`.
+pub fn format_binop_failure(
+    op: &str,
+    left_expr: &str,
+    right_expr: &str,
+    left: &dyn fmt::Debug,
+    right: &dyn fmt::Debug,
+) -> String {
+    format!(
+        "assertion failed: `{left_expr} {op} {right_expr}`\n  left: {left:?}\n right: {right:?}"
+    )
+}
+
+/// Most-used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// Namespaced access to strategy modules, mirroring
+    /// `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                        $crate::format_binop_failure(
+                            "==",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                        $crate::format_binop_failure(
+                            "!=",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($config) $($rest)*);
+    };
+    (@tests ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(stringify!($name), &config, |proptest_case_rng| {
+                let _ = &proptest_case_rng;
+                $(let $arg = $crate::Strategy::generate(&($strat), proptest_case_rng);)*
+                (move || -> $crate::TestCaseResult {
+                    $body
+                    ::core::result::Result::Ok(())
+                })()
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in 0.0f64..=1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(any::<u64>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(v in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!(v < 20);
+        }
+
+        #[test]
+        fn assume_rejects(x in any::<u64>()) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::seed_for("abc"), crate::seed_for("abc"));
+        assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Offline, vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors the small slice of the `rand` 0.9 API it actually uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded via
+//!   SplitMix64 (the same construction the real `rand_chacha`-backed `StdRng`
+//!   replaces; quality is far beyond what the test-suite needs);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng::random`] / [`Rng::random_range`] / [`Rng::random_bool`].
+//!
+//! Everything is `no_std`-free plain Rust with zero dependencies. The
+//! generators are fully deterministic: the same seed always yields the same
+//! stream on every platform (only fixed-width integer ops are used).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform-bit generator interface.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be produced uniformly from an RNG (the `StandardUniform`
+/// distribution of real `rand`, collapsed into one trait for the stub).
+pub trait Standard: Sized {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::generate(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                // Multiply-shift maps 64 uniform bits onto [0, span) with
+                // bias < 2^-64 — indistinguishable at test scale.
+                let hi = (rng.next_u64() as u128 * span) >> 64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u128 + 1;
+                let hi = (rng.next_u64() as u128 * span) >> 64;
+                start + hi as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_sint {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as $u as u128;
+                let hi = (rng.next_u64() as u128 * span) >> 64;
+                self.start.wrapping_add(hi as $u as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = end.wrapping_sub(start) as $u as u128 + 1;
+                let hi = (rng.next_u64() as u128 * span) >> 64;
+                start.wrapping_add(hi as $u as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_sint!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = <$t as Standard>::generate(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let u = <$t as Standard>::generate(rng);
+                // Scale the half-open unit sample up so `end` is reachable.
+                let x = start + u * (end - start) * (1.0 + <$t>::EPSILON);
+                if x > end { end } else { x }
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// High-level sampling interface, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform over the type's domain; `[0, 1)` for floats).
+    fn random<T: Standard>(&mut self) -> T {
+        T::generate(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator: the workspace's standard RNG.
+    ///
+    /// Seeded through SplitMix64 per Blackman & Vigna's recommendation so
+    /// that nearby seeds yield uncorrelated streams.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut sm);
+            }
+            // All-zero state is a fixed point of xoshiro; SplitMix64 cannot
+            // produce it from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Convenience: one-off sample from a freshly seeded generator is not
+/// supported (no OS entropy in the offline stub); seed explicitly instead.
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0u32..=5);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+}
