@@ -33,6 +33,10 @@ pub struct MinHashParams {
     pub band_factor: f64,
     /// Hard cap on `L` to bound memory.
     pub max_bands: usize,
+    /// Worker threads for [`SetSimilaritySearch::search_batch`]
+    /// (`0` = one per available core). Batch results are identical for any
+    /// worker count.
+    pub query_threads: usize,
 }
 
 impl MinHashParams {
@@ -46,6 +50,7 @@ impl MinHashParams {
             b2,
             band_factor: 3.0,
             max_bands: 4096,
+            query_threads: 0,
         })
     }
 
@@ -161,6 +166,13 @@ impl MinHashLsh {
         });
         count
     }
+
+    /// [`SetSimilaritySearch::search_batch`] with an explicit worker count
+    /// (`0` = one per available core), ignoring
+    /// [`MinHashParams::query_threads`].
+    pub fn search_batch_threads(&self, queries: &[SparseVec], threads: usize) -> Vec<Vec<Match>> {
+        skewsearch_core::batch_map(queries, threads, |q| self.search_all(q))
+    }
 }
 
 impl SetSimilaritySearch for MinHashLsh {
@@ -181,6 +193,10 @@ impl SetSimilaritySearch for MinHashLsh {
         hit
     }
 
+    /// Same candidate-handling contract as the LSF indexes: `probe`
+    /// deduplicates ids across bands before verification and matches appear
+    /// in first-discovery order (bands in build order, then bucket insertion
+    /// order).
     fn search_all(&self, q: &SparseVec) -> Vec<Match> {
         let mut out = Vec::new();
         self.probe(q, |id| {
@@ -194,6 +210,14 @@ impl SetSimilaritySearch for MinHashLsh {
             true
         });
         out
+    }
+
+    fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
+        self.search_batch_threads(queries, self.params.query_threads)
+    }
+
+    fn search_batch_best(&self, queries: &[SparseVec]) -> Vec<Option<Match>> {
+        skewsearch_core::batch_map(queries, self.params.query_threads, |q| self.search_best(q))
     }
 
     fn threshold(&self) -> f64 {

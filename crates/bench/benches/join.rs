@@ -26,6 +26,10 @@ fn bench_join(c: &mut Criterion) {
             .unwrap()
             .with_options(IndexOptions {
                 repetitions: Repetitions::Fixed(4),
+                // similarity_join routes through search_batch; pin the
+                // index's batch pool to one worker so the "sequential" row
+                // stays sequential on any host.
+                query_threads: 1,
                 ..IndexOptions::default()
             }),
         &mut rng,

@@ -10,6 +10,7 @@
 //! * `sec7_examples` — §7.1/§7.2 worked-example exponents;
 //! * `motivating` — §1 harmonic split balance;
 //! * `query_scaling` — query latency, ours vs every baseline;
+//! * `batch_query` — sequential loop vs `search_batch` at 1/2/4/8 threads;
 //! * `build_index` — preprocessing cost, ours vs every baseline;
 //! * `ablation` — threshold adaptivity, stopping rule, δ-boost, hash family;
 //! * `substrates` — intersections, samplers, hashers;

@@ -1,0 +1,133 @@
+//! The batch query executor: chunked work stealing over std scoped threads.
+//!
+//! Answering a batch of queries is embarrassingly parallel — each query only
+//! *reads* the index — but query costs are wildly uneven on skewed data (the
+//! whole point of the paper: `ρ(q)` varies per query), so static chunking
+//! leaves threads idle behind one expensive straggler chunk. [`batch_map`]
+//! instead lets workers *claim* small chunks from a shared atomic cursor:
+//! cheap queries drain quickly and their workers steal the remaining work.
+//!
+//! Results are returned **in input order regardless of thread count**, so a
+//! batched call is observably identical to the sequential loop — the
+//! invariant `tests/batch_equivalence.rs` pins down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many items a worker claims per cursor fetch. Small enough to balance
+/// skewed per-query costs, large enough to amortize the atomic traffic.
+const CLAIM_CHUNK: usize = 8;
+
+/// Resolves a requested worker count: `0` means "one worker per available
+/// core", anything else is taken literally (and capped by the item count at
+/// the call site).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Applies `f` to every item on `threads` workers (std scoped threads),
+/// distributing work through a shared atomic cursor in small fixed-size
+/// chunks. Returns outputs in input order.
+///
+/// `threads = 0` resolves to the available parallelism; `threads = 1` (or a
+/// batch of fewer than two items) degenerates to a plain sequential map with
+/// no thread or atomic overhead.
+pub fn batch_map<Q, T, F>(items: &[Q], threads: usize, f: F) -> Vec<T>
+where
+    Q: Sync,
+    T: Send,
+    F: Fn(&Q) -> T + Sync,
+{
+    // Spawn no more workers than there are claimable chunks — extra threads
+    // could never receive work.
+    let threads = resolve_threads(threads).min(items.len().div_ceil(CLAIM_CHUNK).max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    let runs: Vec<(usize, Vec<T>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut runs: Vec<(usize, Vec<T>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + CLAIM_CHUNK).min(items.len());
+                        runs.push((start, items[start..end].iter().map(f).collect()));
+                    }
+                    runs
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+
+    for (start, outputs) in runs {
+        for (off, out) in outputs.into_iter().enumerate() {
+            slots[start + off] = Some(out);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every claimed chunk fills its slots"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..103).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 2).collect();
+        for threads in [0, 1, 2, 3, 8, 64] {
+            let got = batch_map(&items, threads, |x| x * 2);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_batches() {
+        let empty: Vec<u32> = vec![];
+        assert!(batch_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(batch_map(&[7u32], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_is_still_ordered() {
+        // Front-loaded costs force stealing: early items sleep, late ones
+        // return immediately.
+        let items: Vec<u64> = (0..40).collect();
+        let got = batch_map(&items, 4, |&x| {
+            if x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn resolve_threads_semantics() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

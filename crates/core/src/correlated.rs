@@ -139,6 +139,22 @@ impl CorrelatedIndex {
         self.inner.distinct_candidates(q)
     }
 
+    /// [`SetSimilaritySearch::search_batch`] with an explicit worker count
+    /// (`0` = one per available core).
+    pub fn search_batch_threads(&self, queries: &[SparseVec], threads: usize) -> Vec<Vec<Match>> {
+        self.inner.search_batch_threads(queries, threads)
+    }
+
+    /// [`CorrelatedIndex::distinct_candidates`] over a query batch on
+    /// `threads` workers (`0` = one per available core).
+    pub fn distinct_candidates_batch(
+        &self,
+        queries: &[SparseVec],
+        threads: usize,
+    ) -> Vec<(Vec<u32>, QueryStats)> {
+        self.inner.distinct_candidates_batch(queries, threads)
+    }
+
     /// Build statistics.
     pub fn build_stats(&self) -> &crate::index::BuildStats {
         self.inner.build_stats()
@@ -149,8 +165,16 @@ impl SetSimilaritySearch for CorrelatedIndex {
     fn search(&self, q: &SparseVec) -> Option<Match> {
         self.inner.search(q)
     }
+    /// Delegates to [`LsfIndex::search_all`](crate::LsfIndex), inheriting its
+    /// dedup-before-verify, first-discovery ordering contract.
     fn search_all(&self, q: &SparseVec) -> Vec<Match> {
         self.inner.search_all(q)
+    }
+    fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
+        self.inner.search_batch(queries)
+    }
+    fn search_batch_best(&self, queries: &[SparseVec]) -> Vec<Option<Match>> {
+        self.inner.search_batch_best(queries)
     }
     fn threshold(&self) -> f64 {
         self.inner.threshold()

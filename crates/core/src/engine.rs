@@ -43,10 +43,66 @@ pub struct EnumStats {
     pub depth_capped: bool,
 }
 
+/// Precomputed enumeration inputs for one vector: every scheme threshold
+/// `s(x, j, i)` and per-dimension mass `log₂(1/p_i)` the DFS can touch,
+/// evaluated once up front.
+///
+/// Thresholds and masses depend only on the vector, the profile, and the
+/// scheme — **not** on the repetition's hash stack — so a query builds this
+/// context once and reuses it across all `R = Θ(log n)` repetitions instead
+/// of re-deriving `F(q)`'s inputs per repetition (the hot-path hoist the
+/// ROADMAP called for). [`LsfIndex::probe`](crate::LsfIndex::probe) does
+/// exactly that; [`enumerate_filters`] builds a throwaway context for
+/// single-shot callers.
+pub struct EnumContext<'a> {
+    x: &'a SparseVec,
+    /// Depth-major threshold matrix: `thresholds[j · |x| + t]` is
+    /// `s(x, j, dims[t])` for `j < max_depth`.
+    thresholds: Vec<f64>,
+    /// `masses[t] = log₂(1/p_{dims[t]})`.
+    masses: Vec<f64>,
+    max_depth: usize,
+}
+
+impl<'a> EnumContext<'a> {
+    /// Evaluates all thresholds and masses for `x` up to `max_depth` (use the
+    /// hasher stack's depth, which index builds size to
+    /// [`ThresholdScheme::depth_bound`]).
+    pub fn new<S: ThresholdScheme>(
+        x: &'a SparseVec,
+        profile: &BernoulliProfile,
+        scheme: &S,
+        max_depth: usize,
+    ) -> Self {
+        let weight = x.weight();
+        let dims = x.dims();
+        let mut thresholds = Vec::with_capacity(max_depth * dims.len());
+        for depth in 0..max_depth {
+            thresholds.extend(dims.iter().map(|&i| scheme.threshold(weight, depth, i)));
+        }
+        Self {
+            x,
+            thresholds,
+            masses: dims.iter().map(|&i| profile.log2_inv_p(i)).collect(),
+            max_depth,
+        }
+    }
+
+    /// The vector this context was built for.
+    pub fn vector(&self) -> &SparseVec {
+        self.x
+    }
+}
+
 /// Enumerates `F(x)` into `out`, returning traversal statistics.
 ///
 /// `hashers` must be the stack drawn at preprocessing time — queries *must*
 /// reuse the preprocessing stack or no filter can ever coincide.
+///
+/// Convenience wrapper building a fresh [`EnumContext`] per call; callers
+/// that enumerate the same vector under several stacks (the index's
+/// repetition probing) should build the context once and call
+/// [`enumerate_filters_with`].
 pub fn enumerate_filters<S: ThresholdScheme>(
     x: &SparseVec,
     profile: &BernoulliProfile,
@@ -55,15 +111,38 @@ pub fn enumerate_filters<S: ThresholdScheme>(
     node_budget: usize,
     out: &mut Vec<PathKey>,
 ) -> EnumStats {
+    let context = EnumContext::new(x, profile, scheme, hashers.max_depth());
+    enumerate_filters_with(&context, scheme, hashers, node_budget, out)
+}
+
+/// Enumerates `F(x)` from a prebuilt [`EnumContext`] — byte-identical output
+/// to [`enumerate_filters`], without re-evaluating thresholds or masses.
+///
+/// `scheme` supplies only the (cheap) completion rule; the per-`(j, i)`
+/// thresholds come from the context.
+///
+/// # Panics
+/// Panics if `hashers` is deeper than the context was built for.
+pub fn enumerate_filters_with<S: ThresholdScheme>(
+    context: &EnumContext<'_>,
+    scheme: &S,
+    hashers: &PathHasherStack,
+    node_budget: usize,
+    out: &mut Vec<PathKey>,
+) -> EnumStats {
     let mut stats = EnumStats::default();
-    if x.is_empty() {
+    if context.x.is_empty() {
         return stats;
     }
+    assert!(
+        hashers.max_depth() <= context.max_depth,
+        "EnumContext depth {} shallower than hasher stack {}",
+        context.max_depth,
+        hashers.max_depth()
+    );
     let mut path: Vec<u32> = Vec::with_capacity(hashers.max_depth());
     let mut ctx = Ctx {
-        x,
-        weight: x.weight(),
-        profile,
+        cache: context,
         scheme,
         hashers,
         node_budget,
@@ -75,9 +154,7 @@ pub fn enumerate_filters<S: ThresholdScheme>(
 }
 
 struct Ctx<'a, S: ThresholdScheme> {
-    x: &'a SparseVec,
-    weight: usize,
-    profile: &'a BernoulliProfile,
+    cache: &'a EnumContext<'a>,
     scheme: &'a S,
     hashers: &'a PathHasherStack,
     node_budget: usize,
@@ -88,7 +165,10 @@ struct Ctx<'a, S: ThresholdScheme> {
 fn dfs<S: ThresholdScheme>(ctx: &mut Ctx<'_, S>, key: PathKey, mass: f64, path: &mut Vec<u32>) {
     let depth = path.len();
     let level = ctx.hashers.level(depth);
-    for &i in ctx.x.dims() {
+    let cache = ctx.cache;
+    let dims = cache.x.dims();
+    let row = &cache.thresholds[depth * dims.len()..(depth + 1) * dims.len()];
+    for (t, &i) in dims.iter().enumerate() {
         if ctx.stats.nodes >= ctx.node_budget {
             ctx.stats.truncated = true;
             return;
@@ -98,7 +178,7 @@ fn dfs<S: ThresholdScheme>(ctx: &mut Ctx<'_, S>, key: PathKey, mass: f64, path: 
         if path.contains(&i) {
             continue;
         }
-        let s = ctx.scheme.threshold(ctx.weight, depth, i);
+        let s = row[t];
         if s <= 0.0 {
             continue;
         }
@@ -107,7 +187,7 @@ fn dfs<S: ThresholdScheme>(ctx: &mut Ctx<'_, S>, key: PathKey, mass: f64, path: 
             continue;
         }
         ctx.stats.nodes += 1;
-        let mass2 = mass + ctx.profile.log2_inv_p(i);
+        let mass2 = mass + cache.masses[t];
         if ctx.scheme.is_complete(mass2, depth + 1) {
             ctx.out.push(key2);
             ctx.stats.emitted += 1;
@@ -223,6 +303,28 @@ mod tests {
             !fa.is_empty() && !fb.is_empty(),
             "test should be non-vacuous"
         );
+    }
+
+    #[test]
+    fn cached_context_matches_direct_enumeration_across_stacks() {
+        // The hoisted EnumContext must be observably identical to direct
+        // enumeration under every hash stack (it is what probe reuses
+        // across repetitions).
+        let p = profile();
+        let scheme = CorrelatedScheme::new(0.7, 256, &p);
+        let mut rng = StdRng::seed_from_u64(99);
+        let x = VectorSampler::new(&p).sample(&mut rng);
+        let ctx = EnumContext::new(&x, &p, &scheme, scheme.depth_bound());
+        assert_eq!(ctx.vector(), &x);
+        for seed in 20..26 {
+            let h = stack(seed, scheme.depth_bound());
+            let mut direct = Vec::new();
+            let mut cached = Vec::new();
+            let sd = enumerate_filters(&x, &p, &scheme, &h, DEFAULT_NODE_BUDGET, &mut direct);
+            let sc = enumerate_filters_with(&ctx, &scheme, &h, DEFAULT_NODE_BUDGET, &mut cached);
+            assert_eq!(direct, cached, "seed={seed}");
+            assert_eq!(sd, sc, "seed={seed}");
+        }
     }
 
     #[test]

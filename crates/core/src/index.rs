@@ -8,13 +8,24 @@
 //! `≥ 1/log n` per hash-stack draw, so the index keeps `R = Θ(log n)`
 //! independent **repetitions** (footnote 6 of the paper) and a query probes
 //! them in order until a verified hit.
+//!
+//! Two hot-path engineering choices on top of the paper's construction:
+//!
+//! * a query hoists its enumeration inputs (thresholds, masses) into one
+//!   [`EnumContext`] shared by all repetitions
+//!   instead of re-deriving them per repetition;
+//! * 128-bit path keys are *interned* to 64-bit bucket keys through a
+//!   per-repetition [`TabulationU128`] draw, halving the inverted index's
+//!   key width (an interning collision merges two buckets and at worst
+//!   causes a spurious verification — never a wrong answer).
 
-use crate::engine::{enumerate_filters, EnumStats, DEFAULT_NODE_BUDGET};
+use crate::batch::batch_map;
+use crate::engine::{enumerate_filters_with, EnumContext, EnumStats, DEFAULT_NODE_BUDGET};
 use crate::scheme::ThresholdScheme;
 use crate::traits::{Match, SetSimilaritySearch};
 use rand::{Rng, SeedableRng};
 use skewsearch_datagen::BernoulliProfile;
-use skewsearch_hashing::{FxHashMap, FxHashSet, PathHasherStack};
+use skewsearch_hashing::{FxHashMap, FxHashSet, PathHasherStack, TabulationU128};
 use skewsearch_sets::{similarity, SparseVec};
 
 /// How many independent repetitions to build.
@@ -60,6 +71,11 @@ pub struct IndexOptions {
     /// across vectors (std scoped threads). The built index is
     /// **identical** for any thread count: chunks are merged in id order.
     pub build_threads: usize,
+    /// Worker threads used by [`SetSimilaritySearch::search_batch`] (and
+    /// `search_batch_best`). `0` = one worker per available core. Batch
+    /// results are **identical** for any worker count — see
+    /// [`crate::batch::batch_map`].
+    pub query_threads: usize,
 }
 
 impl Default for IndexOptions {
@@ -68,6 +84,7 @@ impl Default for IndexOptions {
             repetitions: Repetitions::default(),
             node_budget: DEFAULT_NODE_BUDGET,
             build_threads: 1,
+            query_threads: 0,
         }
     }
 }
@@ -112,15 +129,18 @@ pub struct QueryStats {
     pub repetitions_probed: usize,
 }
 
-/// One repetition: an independently drawn hash stack and its inverted index.
+/// One repetition: an independently drawn hash stack, its key interner, and
+/// its inverted index over interned 64-bit bucket keys.
 struct Repetition {
     hashers: PathHasherStack,
-    buckets: FxHashMap<u128, Vec<u32>>,
+    interner: TabulationU128,
+    buckets: FxHashMap<u64, Vec<u32>>,
 }
 
-/// Per-chunk enumeration result (`pairs` in ascending id order).
+/// Per-chunk enumeration result (`pairs` in ascending id order, keys already
+/// interned to 64 bits).
 struct ChunkFilters {
-    pairs: Vec<(u32, u128)>,
+    pairs: Vec<(u32, u64)>,
     truncated: Vec<u32>,
     depth_capped: Vec<u32>,
 }
@@ -128,11 +148,12 @@ struct ChunkFilters {
 /// Enumerates `F(x)` for every vector, optionally fanning out over
 /// contiguous id chunks with std scoped threads. Chunks are returned
 /// in id order, so downstream merging is thread-count independent.
-fn enumerate_chunked<S: ThresholdScheme + Sync>(
+fn enumerate_chunked<S: ThresholdScheme>(
     vectors: &[SparseVec],
     profile: &BernoulliProfile,
     scheme: &S,
     hashers: &PathHasherStack,
+    interner: &TabulationU128,
     node_budget: usize,
     threads: usize,
 ) -> Vec<ChunkFilters> {
@@ -146,15 +167,18 @@ fn enumerate_chunked<S: ThresholdScheme + Sync>(
         for (off, x) in slice.iter().enumerate() {
             let id = (base + off) as u32;
             scratch.clear();
+            let context = EnumContext::new(x, profile, scheme, hashers.max_depth());
             let stats: EnumStats =
-                enumerate_filters(x, profile, scheme, hashers, node_budget, &mut scratch);
+                enumerate_filters_with(&context, scheme, hashers, node_budget, &mut scratch);
             if stats.truncated {
                 chunk.truncated.push(id);
             }
             if stats.depth_capped {
                 chunk.depth_capped.push(id);
             }
-            chunk.pairs.extend(scratch.iter().map(|k| (id, k.raw())));
+            chunk
+                .pairs
+                .extend(scratch.iter().map(|k| (id, interner.hash(k.raw()))));
         }
         chunk
     };
@@ -191,6 +215,7 @@ pub struct LsfIndex<S: ThresholdScheme> {
     reps: Vec<Repetition>,
     verify_threshold: f64,
     node_budget: usize,
+    query_threads: usize,
     build_stats: BuildStats,
 }
 
@@ -200,6 +225,34 @@ impl<S: ThresholdScheme> LsfIndex<S> {
     ///
     /// `verify_threshold` is the Braun-Blanquet bar `b₁` candidates must
     /// clear.
+    ///
+    /// Deterministic under a fixed `rng` seed, for any
+    /// [`IndexOptions::build_threads`] count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use skewsearch_core::{CorrelatedScheme, IndexOptions, LsfIndex, SetSimilaritySearch};
+    /// use skewsearch_datagen::{BernoulliProfile, Dataset};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let profile = BernoulliProfile::two_block(400, 0.2, 0.02).unwrap();
+    /// let data = Dataset::generate(&profile, 200, &mut rng);
+    /// let scheme = CorrelatedScheme::new(0.8, data.n(), &profile);
+    /// let index = LsfIndex::build(
+    ///     data.vectors().to_vec(),
+    ///     profile.clone(),
+    ///     scheme,
+    ///     0.8 / 1.3, // verification threshold b₁ (Lemma 10)
+    ///     IndexOptions::default(),
+    ///     &mut rng,
+    /// );
+    /// assert_eq!(index.len(), 200);
+    /// // A vector queried with itself shares all its filters and is found.
+    /// let hit = index.search(data.vector(0)).expect("self-query hits");
+    /// assert!(hit.similarity >= index.threshold());
+    /// ```
     pub fn build<R: Rng + ?Sized>(
         vectors: Vec<SparseVec>,
         profile: BernoulliProfile,
@@ -232,15 +285,17 @@ impl<S: ThresholdScheme> LsfIndex<S> {
         for _ in 0..r {
             let mut stack_rng = rand::rngs::StdRng::seed_from_u64(rng.random::<u64>());
             let hashers = PathHasherStack::sample(&mut stack_rng, depth);
+            let interner = TabulationU128::sample(&mut stack_rng);
             let chunks = enumerate_chunked(
                 &vectors,
                 &profile,
                 &scheme,
                 &hashers,
+                &interner,
                 options.node_budget,
                 options.build_threads,
             );
-            let mut buckets: FxHashMap<u128, Vec<u32>> = FxHashMap::default();
+            let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
             for chunk in chunks {
                 build_stats.total_filters += chunk.pairs.len();
                 for (id, key) in chunk.pairs {
@@ -253,7 +308,11 @@ impl<S: ThresholdScheme> LsfIndex<S> {
             build_stats.max_bucket = build_stats
                 .max_bucket
                 .max(buckets.values().map(Vec::len).max().unwrap_or(0));
-            reps.push(Repetition { hashers, buckets });
+            reps.push(Repetition {
+                hashers,
+                interner,
+                buckets,
+            });
         }
         build_stats.truncated_vectors = truncated.len();
         build_stats.depth_capped_vectors = depth_capped.len();
@@ -265,6 +324,7 @@ impl<S: ThresholdScheme> LsfIndex<S> {
             reps,
             verify_threshold,
             node_budget: options.node_budget,
+            query_threads: options.query_threads,
             build_stats,
         }
     }
@@ -290,18 +350,24 @@ impl<S: ThresholdScheme> LsfIndex<S> {
     }
 
     /// Core probing loop. Enumerates the query's filters repetition by
-    /// repetition and feeds each *distinct* candidate to `visit`; stops when
-    /// `visit` returns `false`. Returns query statistics.
+    /// repetition and feeds each *distinct* candidate to `visit` in
+    /// first-discovery order; stops when `visit` returns `false`. Returns
+    /// query statistics.
+    ///
+    /// The enumeration inputs (scheme thresholds, dimension masses) are
+    /// hoisted into one [`EnumContext`] built up front and shared by every
+    /// repetition — only the hash-stack acceptance decisions differ per
+    /// repetition.
     pub fn probe(&self, q: &SparseVec, mut visit: impl FnMut(u32) -> bool) -> QueryStats {
         let mut stats = QueryStats::default();
         let mut seen: FxHashSet<u32> = FxHashSet::default();
         let mut filters = Vec::new();
+        let context = EnumContext::new(q, &self.profile, &self.scheme, self.scheme.depth_bound());
         'reps: for rep in &self.reps {
             stats.repetitions_probed += 1;
             filters.clear();
-            enumerate_filters(
-                q,
-                &self.profile,
+            enumerate_filters_with(
+                &context,
                 &self.scheme,
                 &rep.hashers,
                 self.node_budget,
@@ -309,7 +375,7 @@ impl<S: ThresholdScheme> LsfIndex<S> {
             );
             stats.filters += filters.len();
             for key in &filters {
-                if let Some(bucket) = rep.buckets.get(&key.raw()) {
+                if let Some(bucket) = rep.buckets.get(&rep.interner.hash(key.raw())) {
                     stats.candidates += bucket.len();
                     for &id in bucket {
                         if seen.insert(id) {
@@ -353,6 +419,35 @@ impl<S: ThresholdScheme> LsfIndex<S> {
         });
         (ids, stats)
     }
+
+    /// [`SetSimilaritySearch::search_batch`] with an explicit worker count
+    /// (`0` = one per available core), ignoring the build-time
+    /// [`IndexOptions::query_threads`]. Results are identical for every
+    /// worker count.
+    pub fn search_batch_threads(&self, queries: &[SparseVec], threads: usize) -> Vec<Vec<Match>> {
+        batch_map(queries, threads, |q| self.search_all(q))
+    }
+
+    /// [`SetSimilaritySearch::search_batch_best`] with an explicit worker
+    /// count (`0` = one per available core).
+    pub fn search_batch_best_threads(
+        &self,
+        queries: &[SparseVec],
+        threads: usize,
+    ) -> Vec<Option<Match>> {
+        batch_map(queries, threads, |q| self.search_best(q))
+    }
+
+    /// [`LsfIndex::distinct_candidates`] over a query batch on `threads`
+    /// workers (`0` = one per available core). Element `i` is exactly
+    /// `self.distinct_candidates(&queries[i])`.
+    pub fn distinct_candidates_batch(
+        &self,
+        queries: &[SparseVec],
+        threads: usize,
+    ) -> Vec<(Vec<u32>, QueryStats)> {
+        batch_map(queries, threads, |q| self.distinct_candidates(q))
+    }
 }
 
 impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
@@ -360,6 +455,9 @@ impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
         self.search_with_stats(q).0
     }
 
+    /// Implements the trait's dedup-then-verify contract: [`LsfIndex::probe`]
+    /// deduplicates candidate ids across repetitions *before* the similarity
+    /// computation, and matches are pushed in first-discovery probe order.
     fn search_all(&self, q: &SparseVec) -> Vec<Match> {
         let mut out = Vec::new();
         self.probe(q, |id| {
@@ -373,6 +471,14 @@ impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
             true
         });
         out
+    }
+
+    fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
+        self.search_batch_threads(queries, self.query_threads)
+    }
+
+    fn search_batch_best(&self, queries: &[SparseVec]) -> Vec<Option<Match>> {
+        self.search_batch_best_threads(queries, self.query_threads)
     }
 
     fn threshold(&self) -> f64 {

@@ -28,7 +28,10 @@
 //! * [`LsfIndex`] + [`ThresholdScheme`] — the generic engine, also used by
 //!   the Chosen Path baseline in `skewsearch-baselines`.
 //!
-//! All structures implement [`SetSimilaritySearch`].
+//! All structures implement [`SetSimilaritySearch`], including its batch
+//! interface: [`SetSimilaritySearch::search_batch`] answers a query slice on
+//! a work-stealing thread pool ([`batch`]) with results identical to the
+//! sequential loop.
 //!
 //! ```
 //! use rand::{rngs::StdRng, SeedableRng};
@@ -53,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod batch;
 pub mod correlated;
 pub mod engine;
 pub mod index;
@@ -61,8 +65,11 @@ pub mod split;
 pub mod traits;
 
 pub use adversarial::{AdversarialIndex, AdversarialParams};
+pub use batch::{batch_map, resolve_threads};
 pub use correlated::{CorrelatedIndex, CorrelatedParams, ModelDiagnostics};
-pub use engine::{enumerate_filters, EnumStats, DEFAULT_NODE_BUDGET};
+pub use engine::{
+    enumerate_filters, enumerate_filters_with, EnumContext, EnumStats, DEFAULT_NODE_BUDGET,
+};
 pub use index::{BuildStats, IndexOptions, LsfIndex, QueryStats, Repetitions};
 pub use scheme::{AdversarialScheme, ChosenPathScheme, CorrelatedScheme, ThresholdScheme};
 pub use split::{

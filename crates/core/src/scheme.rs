@@ -16,7 +16,11 @@ use skewsearch_datagen::BernoulliProfile;
 /// `threshold` may return values outside `\[0, 1\]`; the engine treats
 /// `s ≤ 0` as "never extend" and `s ≥ 1` as "always extend" (the level hash
 /// is uniform on `[0, 1)`).
-pub trait ThresholdScheme {
+///
+/// Schemes are `Sync + Send`: indexes share them across build workers and
+/// the batch-query thread pool ([`crate::SetSimilaritySearch::search_batch`]).
+/// Every scheme is plain immutable data, so this costs implementors nothing.
+pub trait ThresholdScheme: Sync + Send {
     /// `s(x, j, i)` where `weight = |x|`, `depth = j` (0-based number of
     /// dimensions already on the path), `dim = i`.
     fn threshold(&self, weight: usize, depth: usize, dim: u32) -> f64;

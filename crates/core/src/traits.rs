@@ -19,6 +19,30 @@ pub struct Match {
 /// All structures verify candidates exactly, so a returned [`Match`] always
 /// satisfies `similarity ≥ threshold()`; randomized structures may *miss*
 /// matches with the failure probability of their analysis.
+///
+/// # Examples
+///
+/// Build one of the paper's indexes and query it through the trait:
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use skewsearch_core::{CorrelatedIndex, CorrelatedParams, SetSimilaritySearch};
+/// use skewsearch_datagen::{correlated_query, BernoulliProfile, Dataset};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let profile = BernoulliProfile::two_block(1000, 0.2, 0.02).unwrap();
+/// let data = Dataset::generate(&profile, 300, &mut rng);
+/// let index = CorrelatedIndex::build(
+///     &data,
+///     &profile,
+///     CorrelatedParams::new(0.8).unwrap(),
+///     &mut rng,
+/// );
+/// let q = correlated_query(data.vector(7), &profile, 0.8, &mut rng);
+/// for m in index.search_all(&q) {
+///     assert!(m.similarity >= index.threshold());
+/// }
+/// ```
 pub trait SetSimilaritySearch {
     /// Returns some vector with Braun-Blanquet similarity at least
     /// [`SetSimilaritySearch::threshold`] to `q`, if the structure finds one.
@@ -36,8 +60,64 @@ pub trait SetSimilaritySearch {
     }
 
     /// All distinct vectors the structure can verify at or above the
-    /// threshold (no order guarantee).
+    /// threshold.
+    ///
+    /// **Candidate-handling contract** (shared by every index in this
+    /// workspace so batch results are consistent across structures):
+    /// candidate ids are *deduplicated before verification* — each distinct
+    /// candidate is verified exactly once — and matches appear in
+    /// first-discovery probe order (repetitions/bands in build order, then
+    /// filter enumeration order, then bucket insertion order). Callers must
+    /// not rely on any similarity ordering; use
+    /// [`SetSimilaritySearch::search_best`] for the maximum.
     fn search_all(&self, q: &SparseVec) -> Vec<Match>;
+
+    /// Answers a batch of queries: element `i` of the result is exactly
+    /// `self.search_all(&queries[i])`.
+    ///
+    /// The default implementation is the sequential loop. Index structures
+    /// override it with a thread-pooled implementation (std scoped threads,
+    /// chunked work stealing via an atomic cursor — the worker count comes
+    /// from build-time options such as `IndexOptions::query_threads`), and
+    /// guarantee **identical results for every worker count** — batching is
+    /// a throughput optimization, never a semantics change.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use skewsearch_core::{CorrelatedIndex, CorrelatedParams, SetSimilaritySearch};
+    /// use skewsearch_datagen::{correlated_query, BernoulliProfile, Dataset};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(3);
+    /// let profile = BernoulliProfile::two_block(800, 0.2, 0.02).unwrap();
+    /// let data = Dataset::generate(&profile, 200, &mut rng);
+    /// let index = CorrelatedIndex::build(
+    ///     &data,
+    ///     &profile,
+    ///     CorrelatedParams::new(0.8).unwrap(),
+    ///     &mut rng,
+    /// );
+    /// let queries: Vec<_> = (0..10)
+    ///     .map(|t| correlated_query(data.vector(t), &profile, 0.8, &mut rng))
+    ///     .collect();
+    /// let batched = index.search_batch(&queries);
+    /// assert_eq!(batched.len(), queries.len());
+    /// // Batch answers are exactly the per-query answers, in order.
+    /// for (q, matches) in queries.iter().zip(&batched) {
+    ///     assert_eq!(matches, &index.search_all(q));
+    /// }
+    /// ```
+    fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
+        queries.iter().map(|q| self.search_all(q)).collect()
+    }
+
+    /// Batch [`SetSimilaritySearch::search_best`]: element `i` of the result
+    /// is exactly `self.search_best(&queries[i])`. Same override and
+    /// identical-results guarantees as [`SetSimilaritySearch::search_batch`].
+    fn search_batch_best(&self, queries: &[SparseVec]) -> Vec<Option<Match>> {
+        queries.iter().map(|q| self.search_best(q)).collect()
+    }
 
     /// The verification threshold `b₁`.
     fn threshold(&self) -> f64;
@@ -83,6 +163,27 @@ mod tests {
         fn len(&self) -> usize {
             self.data.len()
         }
+    }
+
+    #[test]
+    fn default_batch_methods_equal_sequential_loops() {
+        let s = TwoVec {
+            data: vec![
+                SparseVec::from_unsorted(vec![1, 2, 3, 4]),
+                SparseVec::from_unsorted(vec![1, 2, 3]),
+                SparseVec::from_unsorted(vec![9, 10]),
+            ],
+            t: 0.4,
+        };
+        let queries = vec![
+            SparseVec::from_unsorted(vec![1, 2, 3]),
+            SparseVec::from_unsorted(vec![9, 10]),
+            SparseVec::empty(),
+        ];
+        let all: Vec<_> = queries.iter().map(|q| s.search_all(q)).collect();
+        let best: Vec<_> = queries.iter().map(|q| s.search_best(q)).collect();
+        assert_eq!(s.search_batch(&queries), all);
+        assert_eq!(s.search_batch_best(&queries), best);
     }
 
     #[test]

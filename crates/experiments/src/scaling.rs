@@ -138,23 +138,41 @@ pub fn run(config: &ScalingConfig) -> Scaling {
         );
         let pf = PrefixFilterIndex::build(&ds, config.alpha / 1.3);
 
-        let mut cands = [0f64; 5];
-        let mut recalls = [0f64; 5];
+        // The whole query batch is generated up front (same RNG order as the
+        // old per-query loop, so sweeps are bit-identical) and the LSF-based
+        // methods are measured through the batch subsystem.
+        let mut targets = Vec::with_capacity(config.queries);
+        let mut qs = Vec::with_capacity(config.queries);
         for _ in 0..config.queries {
             let target = rng.random_range(0..n);
-            let q = correlated_query(ds.vector(target), &profile, config.alpha, &mut rng);
-            // ours
-            let (ids, _) = ours.distinct_candidates(&q);
-            cands[0] += ids.len() as f64;
-            recalls[0] += ids.contains(&(target as u32)) as u8 as f64;
-            // chosen path
-            let (ids, _) = cp.distinct_candidates(&q);
-            cands[1] += ids.len() as f64;
-            recalls[1] += ids.contains(&(target as u32)) as u8 as f64;
+            targets.push(target);
+            qs.push(correlated_query(
+                ds.vector(target),
+                &profile,
+                config.alpha,
+                &mut rng,
+            ));
+        }
+
+        let mut cands = [0f64; 5];
+        let mut recalls = [0f64; 5];
+        for (m, batch) in [
+            ours.distinct_candidates_batch(&qs, 0),
+            cp.distinct_candidates_batch(&qs, 0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for (&target, (ids, _)) in targets.iter().zip(batch) {
+                cands[m] += ids.len() as f64;
+                recalls[m] += ids.contains(&(target as u32)) as u8 as f64;
+            }
+        }
+        for (&target, q) in targets.iter().zip(&qs) {
             // minhash
             let mut got = false;
             let mut c = 0usize;
-            mh.probe(&q, |id| {
+            mh.probe(q, |id| {
                 c += 1;
                 got |= id == target as u32;
                 true
@@ -164,7 +182,7 @@ pub fn run(config: &ScalingConfig) -> Scaling {
             // prefix
             let mut got = false;
             let mut c = 0usize;
-            pf.probe(&q, |id| {
+            pf.probe(q, |id| {
                 c += 1;
                 got |= id == target as u32;
                 true
@@ -194,7 +212,8 @@ pub fn run(config: &ScalingConfig) -> Scaling {
 }
 
 /// Theorem 2 validation: adversarial (non-model) queries — random bit
-/// deletions of planted targets — against an [`AdversarialIndex`] at fixed
+/// deletions of planted targets — against an
+/// [`AdversarialIndex`](skewsearch_core::AdversarialIndex) at fixed
 /// `b₁`, with brute force as the cost yardstick. Returns the same
 /// [`Scaling`] shape with methods `ours`/`brute` populated.
 pub fn run_adversarial(config: &ScalingConfig, b1: f64, deletions: usize) -> Scaling {
@@ -214,9 +233,11 @@ pub fn run_adversarial(config: &ScalingConfig, b1: f64, deletions: usize) -> Sca
             AdversarialParams::new(b1).unwrap().with_options(opts),
             &mut rng,
         );
-        let mut cands = 0f64;
-        let mut recall = 0f64;
-        let mut usable = 0usize;
+        // Generate the adversarial batch up front (same RNG order as the old
+        // per-query loop), keeping only edits that preserved b₁-similarity,
+        // then measure through the batch subsystem.
+        let mut targets = Vec::with_capacity(config.queries);
+        let mut qs = Vec::with_capacity(config.queries);
         for _ in 0..config.queries {
             let target = rng.random_range(0..n);
             let x = ds.vector(target);
@@ -228,12 +249,16 @@ pub fn run_adversarial(config: &ScalingConfig, b1: f64, deletions: usize) -> Sca
             if skewsearch_sets::similarity::braun_blanquet(x, &q) < b1 {
                 continue; // edit broke the planted similarity; skip
             }
-            usable += 1;
-            let (ids, _) = index.distinct_candidates(&q);
+            targets.push(target);
+            qs.push(q);
+        }
+        let mut cands = 0f64;
+        let mut recall = 0f64;
+        for (&target, (ids, _)) in targets.iter().zip(index.distinct_candidates_batch(&qs, 0)) {
             cands += ids.len() as f64;
             recall += ids.contains(&(target as u32)) as u8 as f64;
         }
-        let usable = usable.max(1) as f64;
+        let usable = qs.len().max(1) as f64;
         points.push(ScalingPoint {
             method: "ours",
             n,

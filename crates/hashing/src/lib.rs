@@ -12,7 +12,8 @@
 //! * [`pairwise`] — strongly universal multiply-shift families on `u64`/`u128`
 //!   keys (Dietzfelbinger et al.), with mapping to `[0, 1)`;
 //! * [`tabulation`] — simple tabulation hashing (3-independent), used as an
-//!   alternative family in ablation benchmarks;
+//!   alternative family in ablation benchmarks and as the `u128 → u64`
+//!   bucket-key interner of the inverted filter index;
 //! * [`path`] — incremental 128-bit **path keys**: the identity of a path is a
 //!   128-bit hash accumulated one dimension at a time, so extending a path by
 //!   one dimension is O(1) and two vectors agree on a path key iff they chose
@@ -36,4 +37,4 @@ pub mod tabulation;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use pairwise::{PairwiseU128, PairwiseU64};
 pub use path::{LevelHasher, PathHasherStack, PathKey};
-pub use tabulation::Tabulation64;
+pub use tabulation::{Tabulation64, TabulationU128};

@@ -53,6 +53,51 @@ impl std::fmt::Debug for Tabulation64 {
     }
 }
 
+/// Simple tabulation hash compressing `u128` keys to `u64`: 16 tables of 256
+/// random words, XOR of one lookup per key byte.
+///
+/// Used by the inverted filter index to *intern* 128-bit path keys into
+/// 64-bit bucket keys, halving the key width of every bucket map. Tabulation
+/// is 3-independent, so among `m` distinct filters in a repetition the
+/// probability of *any* interning collision is the birthday bound
+/// `≈ m²/2⁶⁵` (e.g. `~2⁻²⁵` at a million filters) — and a collision merely
+/// merges two buckets, causing a spurious verification, never a wrong answer
+/// (candidates are always verified exactly).
+#[derive(Clone)]
+pub struct TabulationU128 {
+    tables: Box<[[u64; 256]; 16]>,
+}
+
+impl TabulationU128 {
+    /// Draws a function (fills all tables with uniform words).
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut tables = Box::new([[0u64; 256]; 16]);
+        for t in tables.iter_mut() {
+            for e in t.iter_mut() {
+                *e = rng.random::<u64>();
+            }
+        }
+        Self { tables }
+    }
+
+    /// Hashes a 128-bit key down to 64 bits.
+    #[inline]
+    pub fn hash(&self, x: u128) -> u64 {
+        let b = x.to_le_bytes();
+        let mut h = 0u64;
+        for (i, &byte) in b.iter().enumerate() {
+            h ^= self.tables[i][byte as usize];
+        }
+        h
+    }
+}
+
+impl std::fmt::Debug for TabulationU128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TabulationU128").finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +130,31 @@ mod tests {
         let a = 0x00_00_00_00_00_00_00_AAu64;
         let b = 0x00_00_00_00_00_BB_00_00u64;
         assert_eq!(t.hash(a | b), t.hash(a) ^ t.hash(b) ^ t.hash(0));
+    }
+
+    #[test]
+    fn u128_interner_is_deterministic_and_byte_sensitive() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = TabulationU128::sample(&mut rng);
+        let key = 0x0123_4567_89AB_CDEF_0011_2233_4455_6677u128;
+        assert_eq!(t.hash(key), t.hash(key));
+        let base = t.hash(0);
+        for byte in 0..16 {
+            let x = 1u128 << (8 * byte);
+            assert_ne!(t.hash(x), base, "byte {byte} ignored");
+        }
+    }
+
+    #[test]
+    fn u128_interner_has_no_collisions_on_small_key_sets() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let t = TabulationU128::sample(&mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..20_000u128 {
+            // Spread keys across both halves to exercise all tables.
+            let key = i | (i << 64) | (i << 23);
+            assert!(seen.insert(t.hash(key)), "collision at {i}");
+        }
     }
 
     #[test]

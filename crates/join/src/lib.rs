@@ -27,59 +27,45 @@ pub struct JoinPair {
     pub similarity: f64,
 }
 
-/// R ⋈ S: probes `index` (built over `S`) with every vector of `r`,
-/// collecting all verified pairs at the index's threshold.
-pub fn similarity_join<I: SetSimilaritySearch>(r: &[SparseVec], index: &I) -> Vec<JoinPair> {
-    let mut out = Vec::new();
-    for (r_id, q) in r.iter().enumerate() {
-        for m in index.search_all(q) {
-            out.push(JoinPair {
+/// Collects per-query match lists into join pairs, preserving query order.
+fn collect_pairs(per_query: Vec<Vec<skewsearch_core::Match>>) -> Vec<JoinPair> {
+    per_query
+        .into_iter()
+        .enumerate()
+        .flat_map(|(r_id, matches)| {
+            matches.into_iter().map(move |m| JoinPair {
                 r_id,
                 s_id: m.id,
                 similarity: m.similarity,
-            });
-        }
-    }
-    out
+            })
+        })
+        .collect()
 }
 
-/// Parallel [`similarity_join`]: splits `R` into `threads` contiguous chunks
-/// probed concurrently (std scoped threads), concatenating results in
-/// chunk order so output is identical to the sequential join.
+/// R ⋈ S: probes `index` (built over `S`) with every vector of `r`,
+/// collecting all verified pairs at the index's threshold.
+///
+/// Runs through [`SetSimilaritySearch::search_batch`], so indexes with a
+/// thread-pooled batch override (the LSF indexes, MinHash) answer the probe
+/// side in parallel with results identical to the sequential loop; pairs are
+/// emitted in `r` order.
+pub fn similarity_join<I: SetSimilaritySearch>(r: &[SparseVec], index: &I) -> Vec<JoinPair> {
+    collect_pairs(index.search_batch(r))
+}
+
+/// [`similarity_join`] with an explicit worker count for the probe side
+/// (`0` = one per available core), independent of the index's own batch
+/// configuration. Work is distributed by chunked work stealing
+/// ([`skewsearch_core::batch_map`]); output is identical to the sequential
+/// join for every thread count.
 pub fn similarity_join_parallel<I: SetSimilaritySearch + Sync>(
     r: &[SparseVec],
     index: &I,
     threads: usize,
 ) -> Vec<JoinPair> {
-    let threads = threads.max(1).min(r.len().max(1));
-    if threads <= 1 || r.len() < 2 {
-        return similarity_join(r, index);
-    }
-    let chunk = r.len().div_ceil(threads);
-    let chunks: Vec<(usize, &[SparseVec])> = r
-        .chunks(chunk)
-        .enumerate()
-        .map(|(c, s)| (c * chunk, s))
-        .collect();
-    let mut results: Vec<Vec<JoinPair>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|&(base, slice)| {
-                scope.spawn(move || {
-                    let mut part = similarity_join(slice, index);
-                    for p in &mut part {
-                        p.r_id += base;
-                    }
-                    part
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("join worker panicked"));
-        }
-    });
-    results.into_iter().flatten().collect()
+    collect_pairs(skewsearch_core::batch_map(r, threads, |q| {
+        index.search_all(q)
+    }))
 }
 
 /// Self-join of the indexed set: probes the index with each of its own

@@ -10,7 +10,7 @@
 //! ```
 
 use rand::{rngs::StdRng, SeedableRng};
-use skewsearch::core::{CorrelatedIndex, CorrelatedParams, SetSimilaritySearch};
+use skewsearch::core::{CorrelatedIndex, CorrelatedParams, IndexOptions, SetSimilaritySearch};
 use skewsearch::datagen::{correlated_query, BernoulliProfile, Dataset};
 use skewsearch::join::{join_recall, nested_loop_join, similarity_join, similarity_join_parallel};
 use skewsearch::sets::SparseVec;
@@ -39,10 +39,18 @@ fn main() {
         .collect();
 
     let t = Instant::now();
+    // query_threads: 1 pins the index's own batch pool to one worker so the
+    // "sequential join" timing below really is sequential; the parallel
+    // driver then supplies its own thread count explicitly.
     let index = CorrelatedIndex::build(
         &s,
         &profile,
-        CorrelatedParams::new(alpha).expect("alpha"),
+        CorrelatedParams::new(alpha)
+            .expect("alpha")
+            .with_options(IndexOptions {
+                query_threads: 1,
+                ..IndexOptions::default()
+            }),
         &mut rng,
     );
     println!(
