@@ -154,6 +154,12 @@ impl SetSimilaritySearch for ChosenPathIndex {
     fn search_all(&self, q: &SparseVec) -> Vec<Match> {
         self.inner.search_all(q)
     }
+    fn search_all_tagged(&self, q: &SparseVec) -> Vec<skewsearch_core::TaggedMatch> {
+        self.inner.search_all_tagged(q)
+    }
+    fn search_first_tagged(&self, q: &SparseVec) -> Option<skewsearch_core::TaggedMatch> {
+        self.inner.search_first_tagged(q)
+    }
     fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
         self.inner.search_batch(queries)
     }
@@ -165,6 +171,27 @@ impl SetSimilaritySearch for ChosenPathIndex {
     }
     fn len(&self) -> usize {
         self.inner.len()
+    }
+}
+
+impl skewsearch_core::Shardable for ChosenPathIndex {
+    fn passes(&self) -> usize {
+        self.inner.repetition_count()
+    }
+    fn shard_of_passes(&self, range: std::ops::Range<usize>) -> Self {
+        Self {
+            inner: self.inner.shard_of_passes(range),
+            b2: self.b2,
+        }
+    }
+    fn shard_of_ids(&self, ids: &[u32]) -> Self {
+        Self {
+            inner: self.inner.shard_of_ids(ids),
+            b2: self.b2,
+        }
+    }
+    fn partition_key(&self, id: u32) -> u64 {
+        skewsearch_core::set_partition_key(&self.inner.vectors()[id as usize])
     }
 }
 

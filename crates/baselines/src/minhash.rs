@@ -74,6 +74,7 @@ impl MinHashParams {
 }
 
 /// One band: its `r` min-wise hash functions and its bucket table.
+#[derive(Clone)]
 struct Band {
     hashes: Vec<PairwiseU64>,
     buckets: FxHashMap<u64, Vec<u32>>,
@@ -144,12 +145,21 @@ impl MinHashLsh {
 
     /// Feeds every distinct candidate to `visit`; stops on `false`.
     pub fn probe(&self, q: &SparseVec, mut visit: impl FnMut(u32) -> bool) {
+        self.probe_tagged(q, |_, id| visit(id))
+    }
+
+    /// [`MinHashLsh::probe`] with discovery coordinates: `visit` receives
+    /// `(band, id)`. Each band probes exactly one bucket (the query's
+    /// signature), and ids ascend within it, so `(band, 0, id)` totally
+    /// orders candidate discovery — the tag contract the sharding layer's
+    /// merge protocol needs.
+    pub fn probe_tagged(&self, q: &SparseVec, mut visit: impl FnMut(u32, u32) -> bool) {
         let mut seen = skewsearch_hashing::FxHashSet::default();
-        'bands: for band in &self.bands {
+        'bands: for (pass, band) in self.bands.iter().enumerate() {
             let Some(sig) = band.signature(q) else { return };
             if let Some(bucket) = band.buckets.get(&sig) {
                 for &id in bucket {
-                    if seen.insert(id) && !visit(id) {
+                    if seen.insert(id) && !visit(pass as u32, id) {
                         break 'bands;
                     }
                 }
@@ -176,40 +186,66 @@ impl MinHashLsh {
 }
 
 impl SetSimilaritySearch for MinHashLsh {
+    /// The early-exiting first hit — the tag projection of
+    /// `search_first_tagged`, sharing its verify loop.
     fn search(&self, q: &SparseVec) -> Option<Match> {
-        let mut hit = None;
-        self.probe(q, |id| {
+        self.search_first_tagged(q).map(|t| t.hit)
+    }
+
+    /// Same candidate-handling contract as the LSF indexes: `probe`
+    /// deduplicates ids across bands before verification and matches appear
+    /// in first-discovery order (bands in build order, then bucket insertion
+    /// order). Exactly the tag projection of `search_all_tagged` — one
+    /// verify loop, not two to keep in lockstep.
+    fn search_all(&self, q: &SparseVec) -> Vec<Match> {
+        self.search_all_tagged(q)
+            .into_iter()
+            .map(|t| t.hit)
+            .collect()
+    }
+
+    /// Genuine `(band, bucket)` discovery coordinates from
+    /// [`MinHashLsh::probe_tagged`] (one bucket per band, so `step` is 0).
+    fn search_all_tagged(&self, q: &SparseVec) -> Vec<skewsearch_core::TaggedMatch> {
+        let mut out = Vec::new();
+        self.probe_tagged(q, |pass, id| {
             let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
             if sim >= self.threshold {
-                hit = Some(Match {
-                    id: id as usize,
-                    similarity: sim,
+                out.push(skewsearch_core::TaggedMatch {
+                    pass,
+                    step: 0,
+                    hit: Match {
+                        id: id as usize,
+                        similarity: sim,
+                    },
+                });
+            }
+            true
+        });
+        out
+    }
+
+    /// Early-exiting: the probe stops at the first verified hit, exactly
+    /// like `search`.
+    fn search_first_tagged(&self, q: &SparseVec) -> Option<skewsearch_core::TaggedMatch> {
+        let mut first = None;
+        self.probe_tagged(q, |pass, id| {
+            let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
+            if sim >= self.threshold {
+                first = Some(skewsearch_core::TaggedMatch {
+                    pass,
+                    step: 0,
+                    hit: Match {
+                        id: id as usize,
+                        similarity: sim,
+                    },
                 });
                 false
             } else {
                 true
             }
         });
-        hit
-    }
-
-    /// Same candidate-handling contract as the LSF indexes: `probe`
-    /// deduplicates ids across bands before verification and matches appear
-    /// in first-discovery order (bands in build order, then bucket insertion
-    /// order).
-    fn search_all(&self, q: &SparseVec) -> Vec<Match> {
-        let mut out = Vec::new();
-        self.probe(q, |id| {
-            let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
-            if sim >= self.threshold {
-                out.push(Match {
-                    id: id as usize,
-                    similarity: sim,
-                });
-            }
-            true
-        });
-        out
+        first
     }
 
     fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
@@ -226,6 +262,56 @@ impl SetSimilaritySearch for MinHashLsh {
 
     fn len(&self) -> usize {
         self.vectors.len()
+    }
+}
+
+impl skewsearch_core::Shardable for MinHashLsh {
+    /// MinHash's probe passes are its bands.
+    fn passes(&self) -> usize {
+        self.bands.len()
+    }
+
+    fn shard_of_passes(&self, range: std::ops::Range<usize>) -> Self {
+        Self {
+            vectors: self.vectors.clone(),
+            bands: self.bands[range].to_vec(),
+            threshold: self.threshold,
+            rows: self.rows,
+            params: self.params,
+        }
+    }
+
+    fn shard_of_ids(&self, ids: &[u32]) -> Self {
+        let local_of = skewsearch_core::shard::local_id_table(ids, self.vectors.len());
+        let bands = self
+            .bands
+            .iter()
+            .map(|band| Band {
+                hashes: band.hashes.clone(),
+                buckets: band
+                    .buckets
+                    .iter()
+                    .filter_map(|(&sig, bucket)| {
+                        skewsearch_core::shard::remap_bucket(bucket, &local_of)
+                            .map(|local| (sig, local))
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self {
+            vectors: ids
+                .iter()
+                .map(|&g| self.vectors[g as usize].clone())
+                .collect(),
+            bands,
+            threshold: self.threshold,
+            rows: self.rows,
+            params: self.params,
+        }
+    }
+
+    fn partition_key(&self, id: u32) -> u64 {
+        skewsearch_core::set_partition_key(&self.vectors[id as usize])
     }
 }
 

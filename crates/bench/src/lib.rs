@@ -11,6 +11,8 @@
 //! * `motivating` — §1 harmonic split balance;
 //! * `query_scaling` — query latency, ours vs every baseline;
 //! * `batch_query` — sequential loop vs `search_batch` at 1/2/4/8 threads;
+//! * `sharded_query` — unsharded vs `ShardedIndex` at 1/2/4/8 shards,
+//!   both strategies;
 //! * `build_index` — preprocessing cost, ours vs every baseline;
 //! * `ablation` — threshold adaptivity, stopping rule, δ-boost, hash family;
 //! * `substrates` — intersections, samplers, hashers;

@@ -170,6 +170,12 @@ impl SetSimilaritySearch for CorrelatedIndex {
     fn search_all(&self, q: &SparseVec) -> Vec<Match> {
         self.inner.search_all(q)
     }
+    fn search_all_tagged(&self, q: &SparseVec) -> Vec<crate::TaggedMatch> {
+        self.inner.search_all_tagged(q)
+    }
+    fn search_first_tagged(&self, q: &SparseVec) -> Option<crate::TaggedMatch> {
+        self.inner.search_first_tagged(q)
+    }
     fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
         self.inner.search_batch(queries)
     }
@@ -181,6 +187,29 @@ impl SetSimilaritySearch for CorrelatedIndex {
     }
     fn len(&self) -> usize {
         self.inner.len()
+    }
+}
+
+impl crate::shard::Shardable for CorrelatedIndex {
+    fn passes(&self) -> usize {
+        self.inner.repetition_count()
+    }
+    fn shard_of_passes(&self, range: std::ops::Range<usize>) -> Self {
+        Self {
+            inner: self.inner.shard_of_passes(range),
+            alpha: self.alpha,
+            diagnostics: self.diagnostics.clone(),
+        }
+    }
+    fn shard_of_ids(&self, ids: &[u32]) -> Self {
+        Self {
+            inner: self.inner.shard_of_ids(ids),
+            alpha: self.alpha,
+            diagnostics: self.diagnostics.clone(),
+        }
+    }
+    fn partition_key(&self, id: u32) -> u64 {
+        crate::shard::set_partition_key(&self.inner.vectors()[id as usize])
     }
 }
 

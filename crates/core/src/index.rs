@@ -359,11 +359,27 @@ impl<S: ThresholdScheme> LsfIndex<S> {
     /// repetition — only the hash-stack acceptance decisions differ per
     /// repetition.
     pub fn probe(&self, q: &SparseVec, mut visit: impl FnMut(u32) -> bool) -> QueryStats {
+        self.probe_tagged(q, |_, _, id| visit(id))
+    }
+
+    /// [`LsfIndex::probe`] with discovery coordinates: `visit` receives
+    /// `(pass, step, id)` where `pass` is the repetition index and `step` the
+    /// position of the discovering filter in the query's enumeration order.
+    ///
+    /// Within one `(pass, step)` bucket, ids ascend (buckets are filled in id
+    /// order at build time), so `(pass, step, id)` totally orders candidate
+    /// discovery — the invariant the sharding layer's merge protocol
+    /// ([`crate::shard::ShardedIndex`]) rests on.
+    pub fn probe_tagged(
+        &self,
+        q: &SparseVec,
+        mut visit: impl FnMut(u32, u32, u32) -> bool,
+    ) -> QueryStats {
         let mut stats = QueryStats::default();
         let mut seen: FxHashSet<u32> = FxHashSet::default();
         let mut filters = Vec::new();
         let context = EnumContext::new(q, &self.profile, &self.scheme, self.scheme.depth_bound());
-        'reps: for rep in &self.reps {
+        'reps: for (pass, rep) in self.reps.iter().enumerate() {
             stats.repetitions_probed += 1;
             filters.clear();
             enumerate_filters_with(
@@ -374,13 +390,13 @@ impl<S: ThresholdScheme> LsfIndex<S> {
                 &mut filters,
             );
             stats.filters += filters.len();
-            for key in &filters {
+            for (step, key) in filters.iter().enumerate() {
                 if let Some(bucket) = rep.buckets.get(&rep.interner.hash(key.raw())) {
                     stats.candidates += bucket.len();
                     for &id in bucket {
                         if seen.insert(id) {
                             stats.verified += 1;
-                            if !visit(id) {
+                            if !visit(pass as u32, step as u32, id) {
                                 break 'reps;
                             }
                         }
@@ -448,29 +464,173 @@ impl<S: ThresholdScheme> LsfIndex<S> {
     ) -> Vec<(Vec<u32>, QueryStats)> {
         batch_map(queries, threads, |q| self.distinct_candidates(q))
     }
+
+    /// Number of probe passes (= built repetitions).
+    pub fn repetition_count(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Clones out a shard of this index owning the repetition slice
+    /// `range` over the **full** dataset (the `ByRepetition` sharding
+    /// primitive — see [`crate::shard`]). The shard's repetition `r` is
+    /// byte-identical to this index's repetition `range.start + r`.
+    ///
+    /// An empty `range` yields a valid index that never finds anything.
+    ///
+    /// # Panics
+    /// Panics if `range.end` exceeds [`LsfIndex::repetition_count`].
+    pub fn shard_of_passes(&self, range: std::ops::Range<usize>) -> Self
+    where
+        S: Clone,
+    {
+        let reps: Vec<Repetition> = self.reps[range]
+            .iter()
+            .map(|rep| Repetition {
+                hashers: rep.hashers.clone(),
+                interner: rep.interner.clone(),
+                buckets: rep.buckets.clone(),
+            })
+            .collect();
+        self.shard_from_reps(self.vectors.clone(), reps)
+    }
+
+    /// Clones out a shard owning only the vectors with the given **global**
+    /// ids (ascending), remapped to local ids `0..ids.len()` (the
+    /// `ByDataset` sharding primitive — see [`crate::shard`]). The shard
+    /// keeps every repetition's hash stack and interner, with each bucket
+    /// filtered down to the shard's ids; bucket order (ascending global id)
+    /// is preserved under the monotone remap.
+    ///
+    /// # Panics
+    /// Panics if `ids` is not strictly ascending or contains an id `≥ len()`.
+    pub fn shard_of_ids(&self, ids: &[u32]) -> Self
+    where
+        S: Clone,
+    {
+        let local_of = crate::shard::local_id_table(ids, self.vectors.len());
+        let vectors: Vec<SparseVec> = ids
+            .iter()
+            .map(|&g| self.vectors[g as usize].clone())
+            .collect();
+        let reps: Vec<Repetition> = self
+            .reps
+            .iter()
+            .map(|rep| Repetition {
+                hashers: rep.hashers.clone(),
+                interner: rep.interner.clone(),
+                buckets: rep
+                    .buckets
+                    .iter()
+                    .filter_map(|(&key, bucket)| {
+                        crate::shard::remap_bucket(bucket, &local_of).map(|local| (key, local))
+                    })
+                    .collect(),
+            })
+            .collect();
+        self.shard_from_reps(vectors, reps)
+    }
+
+    /// Assembles a shard from cloned repetitions, recomputing the storage
+    /// statistics (the per-vector truncation counters are a build-time
+    /// artifact of the parent and are zeroed in shards).
+    fn shard_from_reps(&self, vectors: Vec<SparseVec>, reps: Vec<Repetition>) -> Self
+    where
+        S: Clone,
+    {
+        let build_stats = BuildStats {
+            repetitions: reps.len(),
+            total_filters: reps
+                .iter()
+                .map(|r| r.buckets.values().map(Vec::len).sum::<usize>())
+                .sum(),
+            distinct_buckets: reps.iter().map(|r| r.buckets.len()).sum(),
+            max_bucket: reps
+                .iter()
+                .flat_map(|r| r.buckets.values().map(Vec::len))
+                .max()
+                .unwrap_or(0),
+            truncated_vectors: 0,
+            depth_capped_vectors: 0,
+        };
+        Self {
+            profile: self.profile.clone(),
+            vectors,
+            scheme: self.scheme.clone(),
+            reps,
+            verify_threshold: self.verify_threshold,
+            node_budget: self.node_budget,
+            query_threads: self.query_threads,
+            build_stats,
+        }
+    }
 }
 
 impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
+    /// The early-exiting first hit — the tag projection of
+    /// `search_first_tagged`, sharing its verify loop
+    /// ([`LsfIndex::search_with_stats`] keeps its own for stats-bearing
+    /// callers).
     fn search(&self, q: &SparseVec) -> Option<Match> {
-        self.search_with_stats(q).0
+        self.search_first_tagged(q).map(|t| t.hit)
     }
 
     /// Implements the trait's dedup-then-verify contract: [`LsfIndex::probe`]
     /// deduplicates candidate ids across repetitions *before* the similarity
     /// computation, and matches are pushed in first-discovery probe order.
+    ///
+    /// Exactly the tag projection of
+    /// [`LsfIndex::search_all_tagged`](SetSimilaritySearch::search_all_tagged)
+    /// — one verify loop, not two to keep in lockstep.
     fn search_all(&self, q: &SparseVec) -> Vec<Match> {
+        self.search_all_tagged(q)
+            .into_iter()
+            .map(|t| t.hit)
+            .collect()
+    }
+
+    /// Genuine `(repetition, filter)` discovery coordinates from
+    /// [`LsfIndex::probe_tagged`] — the tags the sharded merge protocol
+    /// requires.
+    fn search_all_tagged(&self, q: &SparseVec) -> Vec<crate::traits::TaggedMatch> {
         let mut out = Vec::new();
-        self.probe(q, |id| {
+        self.probe_tagged(q, |pass, step, id| {
             let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
             if sim >= self.verify_threshold {
-                out.push(Match {
-                    id: id as usize,
-                    similarity: sim,
+                out.push(crate::traits::TaggedMatch {
+                    pass,
+                    step,
+                    hit: Match {
+                        id: id as usize,
+                        similarity: sim,
+                    },
                 });
             }
             true
         });
         out
+    }
+
+    /// Early-exiting: the probe stops at the first verified hit, exactly
+    /// like [`LsfIndex::search`].
+    fn search_first_tagged(&self, q: &SparseVec) -> Option<crate::traits::TaggedMatch> {
+        let mut first = None;
+        self.probe_tagged(q, |pass, step, id| {
+            let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
+            if sim >= self.verify_threshold {
+                first = Some(crate::traits::TaggedMatch {
+                    pass,
+                    step,
+                    hit: Match {
+                        id: id as usize,
+                        similarity: sim,
+                    },
+                });
+                false
+            } else {
+                true
+            }
+        });
+        first
     }
 
     fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {

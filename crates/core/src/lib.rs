@@ -31,7 +31,10 @@
 //! All structures implement [`SetSimilaritySearch`], including its batch
 //! interface: [`SetSimilaritySearch::search_batch`] answers a query slice on
 //! a work-stealing thread pool ([`batch`]) with results identical to the
-//! sequential loop.
+//! sequential loop. Any of them can additionally be partitioned across
+//! shards by [`ShardedIndex`] ([`shard`]) — by repetition slice or by
+//! hash-partitioned dataset — with answers byte-identical to the unsharded
+//! structure.
 //!
 //! ```
 //! use rand::{rngs::StdRng, SeedableRng};
@@ -61,18 +64,20 @@ pub mod correlated;
 pub mod engine;
 pub mod index;
 pub mod scheme;
+pub mod shard;
 pub mod split;
 pub mod traits;
 
 pub use adversarial::{AdversarialIndex, AdversarialParams};
-pub use batch::{batch_map, resolve_threads};
+pub use batch::{batch_map, batch_map_chunked, resolve_threads};
 pub use correlated::{CorrelatedIndex, CorrelatedParams, ModelDiagnostics};
 pub use engine::{
     enumerate_filters, enumerate_filters_with, EnumContext, EnumStats, DEFAULT_NODE_BUDGET,
 };
 pub use index::{BuildStats, IndexOptions, LsfIndex, QueryStats, Repetitions};
 pub use scheme::{AdversarialScheme, ChosenPathScheme, CorrelatedScheme, ThresholdScheme};
+pub use shard::{set_partition_key, ShardStrategy, Shardable, ShardedIndex};
 pub use split::{
     balance_split, balance_split_normalized, balanced_exponents, SplitIndex, SplitParams,
 };
-pub use traits::{Match, SetSimilaritySearch};
+pub use traits::{Match, SetSimilaritySearch, TaggedMatch};

@@ -1,0 +1,512 @@
+//! The sharding layer: partition any index across `N` shards without
+//! changing a single byte of any answer.
+//!
+//! The ROADMAP's "millions of users" north star needs indexes that outgrow
+//! one allocation and one build. The paper's filter family distributes
+//! naturally (LSF-Join makes the same observation for the join setting):
+//! repetitions are embarrassingly parallel, and hash-partitioning the sets
+//! keeps shards balanced even under the skewed distributions this workspace
+//! targets. [`ShardedIndex`] packages both decompositions behind the normal
+//! [`SetSimilaritySearch`] interface:
+//!
+//! * [`ShardStrategy::ByRepetition`] — each shard owns a contiguous slice of
+//!   the probe passes (LSF repetitions / MinHash bands) over the **full**
+//!   dataset. Shard builds and probes are independent; a candidate can
+//!   surface in several shards, so the merge deduplicates across shards.
+//! * [`ShardStrategy::ByDataset`] — the vectors are hash-partitioned by set
+//!   content ([`set_partition_key`]); each shard is a full index over its
+//!   slice with local ids. Every candidate lives in exactly one shard, so
+//!   cross-shard dedup is vacuous and the merge only reorders and remaps.
+//!
+//! ## The merge protocol
+//!
+//! Both strategies reconstruct the unsharded index's `search_all` output
+//! **byte-identically** (`tests/shard_equivalence.rs` pins this down for all
+//! five index types). The key fact: every structure here emits matches in
+//! first-discovery order, and a candidate's first discovery happens at a
+//! lexicographically minimal `(pass, step)` coordinate — repetition/band,
+//! then filter/bucket — with ids ascending inside one coordinate (bucket
+//! insertion order). So the unsharded output order is exactly "sort
+//! candidates by `(pass, step, id)` of their first discovery". Shards report
+//! that coordinate per match ([`SetSimilaritySearch::search_all_tagged`]);
+//! the merge offsets passes (`ByRepetition`), remaps local ids to global
+//! (`ByDataset`), sorts by `(pass, step, id)`, and drops all but the first
+//! occurrence of each id. Dedup-before-verify holds *within* each shard
+//! exactly as in the unsharded index, and the merge never re-verifies —
+//! but note that under `ByRepetition` a candidate surfacing in several
+//! pass-slices is verified once *per owning shard* (up to `N` similarity
+//! computations for a hot candidate; the per-shard `seen` sets cannot see
+//! each other). `ByDataset` has no such duplication: every candidate lives
+//! in exactly one shard.
+//!
+//! Cross-shard fan-out and shard construction both run on the existing
+//! work-stealing executor ([`crate::batch::batch_map_chunked`] with a claim
+//! chunk of 1, so a handful of expensive shard probes actually spread across
+//! workers).
+//!
+//! ## Trade-offs (documented, not hidden)
+//!
+//! `ByRepetition` duplicates the dataset into every shard (memory `N·|S|`)
+//! but enumerates query filters once per shard slice — total probe work
+//! matches the unsharded index. `ByDataset` partitions the vectors (memory
+//! `≈ |S|` plus per-shard hash stacks) but each shard re-enumerates the
+//! query's filters, costing `N×` enumeration per query; shard-local filter
+//! caching is a ROADMAP follow-up. Both keep per-shard structures small
+//! enough to build, rebuild, and eventually place on separate machines.
+
+use crate::batch::{batch_map, batch_map_chunked};
+use crate::index::LsfIndex;
+use crate::scheme::ThresholdScheme;
+use crate::traits::{Match, SetSimilaritySearch, TaggedMatch};
+use skewsearch_hashing::{mix, FxHashSet};
+use skewsearch_sets::SparseVec;
+
+/// How a [`ShardedIndex`] decomposes the underlying index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Each shard owns a contiguous slice of the probe passes (repetitions /
+    /// bands) over the full dataset.
+    ByRepetition,
+    /// Vectors are hash-partitioned by set content; each shard is a full
+    /// index over its slice.
+    ByDataset,
+}
+
+/// An index that knows how to split itself into shards. Implemented by every
+/// index structure in the workspace (the LSF family and MinHash); the
+/// sharded wrapper is generic over this trait.
+///
+/// Implementations must uphold the tag contract of
+/// [`SetSimilaritySearch::search_all_tagged`] with *genuine* probe
+/// coordinates — the byte-identical merge guarantee of [`ShardedIndex`]
+/// holds only then.
+pub trait Shardable: SetSimilaritySearch + Sized {
+    /// Number of probe passes (repetitions / bands) this index runs.
+    fn passes(&self) -> usize;
+
+    /// Clones out a shard owning the pass slice `range` over the full
+    /// dataset. Shard pass `r` must be byte-identical to this index's pass
+    /// `range.start + r`. An empty range yields an index that finds nothing.
+    fn shard_of_passes(&self, range: std::ops::Range<usize>) -> Self;
+
+    /// Clones out a shard owning only the vectors with the given global ids
+    /// (strictly ascending), remapped to local ids `0..ids.len()`.
+    fn shard_of_ids(&self, ids: &[u32]) -> Self;
+
+    /// Stable content-hash of the indexed vector `id`, used to assign it to
+    /// a dataset shard. Equal sets always land in the same shard.
+    fn partition_key(&self, id: u32) -> u64;
+}
+
+/// Stable 64-bit content hash of a set, for dataset partitioning: mixes each
+/// dimension through [`mix::splitmix64`] and folds with [`mix::combine64`],
+/// so the key depends only on the set's contents (not its id), and duplicate
+/// sets co-locate on one shard.
+pub fn set_partition_key(x: &SparseVec) -> u64 {
+    x.iter().fold(0x9E37_79B9_7F4A_7C15, |acc, i| {
+        mix::combine64(acc, mix::splitmix64(i as u64))
+    })
+}
+
+/// Builds the global→local id table a dataset shard uses to filter buckets:
+/// `table[g]` is `g`'s local id when the shard owns `g`, `u32::MAX`
+/// otherwise. Shared by every [`Shardable::shard_of_ids`] implementation.
+///
+/// # Panics
+/// Panics if `ids` is not strictly ascending or contains an id `≥ len`.
+pub fn local_id_table(ids: &[u32], len: usize) -> Vec<u32> {
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "shard ids must be strictly ascending"
+    );
+    let mut table = vec![u32::MAX; len];
+    for (local, &global) in ids.iter().enumerate() {
+        table[global as usize] = local as u32;
+    }
+    table
+}
+
+/// Filters one bucket down to a shard's ids, remapping globals to locals via
+/// a [`local_id_table`]; `None` when the shard owns none of the bucket.
+/// Bucket order (ascending global id) is preserved — the table is monotone —
+/// which is what keeps shard probes in the unsharded discovery order.
+pub fn remap_bucket(bucket: &[u32], local_of: &[u32]) -> Option<Vec<u32>> {
+    let local: Vec<u32> = bucket
+        .iter()
+        .map(|&id| local_of[id as usize])
+        .filter(|&l| l != u32::MAX)
+        .collect();
+    (!local.is_empty()).then_some(local)
+}
+
+/// One shard plus the bookkeeping the merge needs to globalize its answers.
+struct Shard<S> {
+    index: S,
+    /// Added to the shard's pass tags (`ByRepetition` slices; 0 otherwise).
+    pass_offset: u32,
+    /// Local id → global id (`ByDataset`; `None` when ids are already
+    /// global).
+    id_map: Option<Vec<u32>>,
+}
+
+impl<S> Shard<S> {
+    /// Lifts a shard-local tagged match into global coordinates: offsets the
+    /// pass (`ByRepetition`) and remaps the id (`ByDataset`).
+    fn globalize(&self, mut t: TaggedMatch) -> TaggedMatch {
+        t.pass += self.pass_offset;
+        if let Some(map) = &self.id_map {
+            t.hit.id = map[t.hit.id] as usize;
+        }
+        t
+    }
+}
+
+/// A sharded index: `N` shards of an underlying [`Shardable`] index, merged
+/// behind [`SetSimilaritySearch`] with answers **byte-identical** to the
+/// unsharded index — same matches, same similarities, same order, for
+/// `search`, `search_all`, `search_batch`, and `search_batch_best`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use skewsearch_core::{
+///     CorrelatedIndex, CorrelatedParams, SetSimilaritySearch, ShardStrategy, ShardedIndex,
+/// };
+/// use skewsearch_datagen::{correlated_query, BernoulliProfile, Dataset};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let profile = BernoulliProfile::two_block(800, 0.2, 0.02).unwrap();
+/// let data = Dataset::generate(&profile, 200, &mut rng);
+/// let index = CorrelatedIndex::build(
+///     &data,
+///     &profile,
+///     CorrelatedParams::new(0.8).unwrap(),
+///     &mut rng,
+/// );
+/// let sharded = ShardedIndex::build(&index, ShardStrategy::ByDataset, 4);
+/// let q = correlated_query(data.vector(3), &profile, 0.8, &mut rng);
+/// assert_eq!(sharded.search_all(&q), index.search_all(&q));
+/// ```
+pub struct ShardedIndex<S> {
+    shards: Vec<Shard<S>>,
+    strategy: ShardStrategy,
+    threshold: f64,
+    len: usize,
+    /// Workers for the per-query cross-shard fan-out (`0` = one per core).
+    fanout_threads: usize,
+    /// Workers for `search_batch` across queries (`0` = one per core).
+    query_threads: usize,
+}
+
+impl<S: Shardable + Send + Sync> ShardedIndex<S> {
+    /// Partitions `index` into `shards` shards under `strategy`. Shard
+    /// construction fans out on the work-stealing executor.
+    ///
+    /// Shard counts exceeding the pass count (`ByRepetition`) or vector
+    /// count (`ByDataset`) produce empty shards, which are valid and simply
+    /// contribute nothing.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn build(index: &S, strategy: ShardStrategy, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let built = match strategy {
+            ShardStrategy::ByRepetition => {
+                let passes = index.passes();
+                // Balanced contiguous slices; later slices may be empty when
+                // shards > passes.
+                let ranges: Vec<std::ops::Range<usize>> = (0..shards)
+                    .map(|k| (k * passes / shards)..((k + 1) * passes / shards))
+                    .collect();
+                batch_map_chunked(&ranges, 0, 1, |range| Shard {
+                    index: index.shard_of_passes(range.clone()),
+                    pass_offset: range.start as u32,
+                    id_map: None,
+                })
+            }
+            ShardStrategy::ByDataset => {
+                let mut ids: Vec<Vec<u32>> = vec![Vec::new(); shards];
+                for id in 0..index.len() as u32 {
+                    ids[(index.partition_key(id) % shards as u64) as usize].push(id);
+                }
+                batch_map_chunked(&ids, 0, 1, |ids| Shard {
+                    index: index.shard_of_ids(ids),
+                    pass_offset: 0,
+                    id_map: Some(ids.clone()),
+                })
+            }
+        };
+        Self {
+            shards: built,
+            strategy,
+            threshold: index.threshold(),
+            len: index.len(),
+            fanout_threads: 0,
+            query_threads: 0,
+        }
+    }
+
+    /// Sets the worker count for the per-query cross-shard fan-out
+    /// (`0` = one per core). Purely a throughput knob — results are
+    /// identical for every value.
+    pub fn with_fanout_threads(mut self, threads: usize) -> Self {
+        self.fanout_threads = threads;
+        self
+    }
+
+    /// Sets the worker count [`SetSimilaritySearch::search_batch`] uses
+    /// across queries (`0` = one per core). Results are identical for every
+    /// value.
+    pub fn with_query_threads(mut self, threads: usize) -> Self {
+        self.query_threads = threads;
+        self
+    }
+
+    /// The decomposition strategy.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Indexed-vector count per shard. Under `ByRepetition` every shard
+    /// reports the full dataset; under `ByDataset` the counts partition it.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.index.len()).collect()
+    }
+
+    /// Fans the query across shards (`threads` workers, claim chunk 1, so
+    /// each shard probe can take its own worker), globalizes tags and ids,
+    /// and merges back into the unsharded discovery order: sort by
+    /// `(pass, step, id)`, then keep only the first occurrence of each id.
+    fn merged_tagged(&self, q: &SparseVec, threads: usize) -> Vec<TaggedMatch> {
+        let per_shard: Vec<Vec<TaggedMatch>> =
+            batch_map_chunked(&self.shards, threads, 1, |shard| {
+                shard.index.search_all_tagged(q)
+            });
+        let mut all: Vec<TaggedMatch> = Vec::with_capacity(per_shard.iter().map(Vec::len).sum());
+        for (shard, tagged) in self.shards.iter().zip(per_shard) {
+            all.extend(tagged.into_iter().map(|t| shard.globalize(t)));
+        }
+        all.sort_by_key(|t| (t.pass, t.step, t.hit.id));
+        let mut seen: FxHashSet<usize> = FxHashSet::default();
+        all.retain(|t| seen.insert(t.hit.id));
+        all
+    }
+
+    /// `search`'s merge: every shard early-exits at its own first verified
+    /// hit ([`SetSimilaritySearch::search_first_tagged`]); the shard minima
+    /// are globalized and the `(pass, step, id)`-minimum among them is the
+    /// global first discovery — no shard ever materializes its full match
+    /// list.
+    fn merged_first(&self, q: &SparseVec, threads: usize) -> Option<TaggedMatch> {
+        let per_shard: Vec<Option<TaggedMatch>> =
+            batch_map_chunked(&self.shards, threads, 1, |shard| {
+                shard.index.search_first_tagged(q)
+            });
+        self.shards
+            .iter()
+            .zip(per_shard)
+            .filter_map(|(shard, first)| first.map(|t| shard.globalize(t)))
+            .min_by_key(|t| (t.pass, t.step, t.hit.id))
+    }
+}
+
+impl<S: Shardable + Send + Sync> SetSimilaritySearch for ShardedIndex<S> {
+    /// Exactly the hit the unsharded index's early-exiting `search` returns,
+    /// found without running any shard past its own first verified hit.
+    fn search(&self, q: &SparseVec) -> Option<Match> {
+        self.merged_first(q, self.fanout_threads).map(|t| t.hit)
+    }
+
+    fn search_all(&self, q: &SparseVec) -> Vec<Match> {
+        self.merged_tagged(q, self.fanout_threads)
+            .into_iter()
+            .map(|t| t.hit)
+            .collect()
+    }
+
+    /// Merged tags are already the *unsharded* index's global `(pass, step)`
+    /// coordinates, so downstream consumers see coordinates indistinguishable
+    /// from the unsharded index's.
+    fn search_all_tagged(&self, q: &SparseVec) -> Vec<TaggedMatch> {
+        self.merged_tagged(q, self.fanout_threads)
+    }
+
+    fn search_first_tagged(&self, q: &SparseVec) -> Option<TaggedMatch> {
+        self.merged_first(q, self.fanout_threads)
+    }
+
+    /// Parallelizes across *queries* (the shard fan-out inside each query
+    /// stays sequential to avoid nested oversubscription); results equal
+    /// `queries.iter().map(|q| self.search_all(q))` regardless.
+    fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
+        batch_map(queries, self.query_threads, |q| {
+            self.merged_tagged(q, 1)
+                .into_iter()
+                .map(|t| t.hit)
+                .collect()
+        })
+    }
+
+    fn search_batch_best(&self, queries: &[SparseVec]) -> Vec<Option<Match>> {
+        batch_map(queries, self.query_threads, |q| {
+            self.merged_tagged(q, 1)
+                .into_iter()
+                .map(|t| t.hit)
+                .max_by(|a, b| a.similarity.partial_cmp(&b.similarity).unwrap())
+        })
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl<S: ThresholdScheme + Clone> Shardable for LsfIndex<S> {
+    fn passes(&self) -> usize {
+        self.repetition_count()
+    }
+
+    fn shard_of_passes(&self, range: std::ops::Range<usize>) -> Self {
+        LsfIndex::shard_of_passes(self, range)
+    }
+
+    fn shard_of_ids(&self, ids: &[u32]) -> Self {
+        LsfIndex::shard_of_ids(self, ids)
+    }
+
+    fn partition_key(&self, id: u32) -> u64 {
+        set_partition_key(&self.vectors()[id as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IndexOptions, Repetitions};
+    use crate::scheme::CorrelatedScheme;
+    use rand::{rngs::StdRng, SeedableRng};
+    use skewsearch_datagen::{correlated_query, BernoulliProfile, Dataset};
+
+    fn fixture(reps: usize) -> (LsfIndex<CorrelatedScheme>, Vec<SparseVec>) {
+        let profile = BernoulliProfile::two_block(500, 0.2, 0.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(0x5AAD);
+        let ds = Dataset::generate(&profile, 160, &mut rng);
+        let scheme = CorrelatedScheme::new(0.8, ds.n(), &profile);
+        let index = LsfIndex::build(
+            ds.vectors().to_vec(),
+            profile.clone(),
+            scheme,
+            0.8 / 1.3,
+            IndexOptions {
+                repetitions: Repetitions::Fixed(reps),
+                ..IndexOptions::default()
+            },
+            &mut rng,
+        );
+        let queries: Vec<SparseVec> = (0..25)
+            .map(|t| correlated_query(ds.vector(t * 7 % ds.n()), &profile, 0.8, &mut rng))
+            .chain(std::iter::once(SparseVec::empty()))
+            .collect();
+        (index, queries)
+    }
+
+    #[test]
+    fn both_strategies_reproduce_unsharded_output() {
+        let (index, queries) = fixture(6);
+        for strategy in [ShardStrategy::ByRepetition, ShardStrategy::ByDataset] {
+            for shards in [1, 2, 5] {
+                let sharded = ShardedIndex::build(&index, strategy, shards);
+                assert_eq!(sharded.len(), index.len());
+                assert_eq!(sharded.threshold(), index.threshold());
+                for q in &queries {
+                    assert_eq!(
+                        sharded.search_all(q),
+                        index.search_all(q),
+                        "{strategy:?} shards={shards}"
+                    );
+                    assert_eq!(sharded.search(q), index.search(q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shards_are_harmless() {
+        let (index, queries) = fixture(3);
+        // 3 repetitions over 8 shards: at least five shards own no passes.
+        let by_rep = ShardedIndex::build(&index, ShardStrategy::ByRepetition, 8);
+        assert_eq!(by_rep.shard_count(), 8);
+        for q in &queries {
+            assert_eq!(by_rep.search_all(q), index.search_all(q));
+        }
+    }
+
+    #[test]
+    fn by_dataset_partitions_the_vectors() {
+        let (index, _) = fixture(4);
+        let sharded = ShardedIndex::build(&index, ShardStrategy::ByDataset, 4);
+        assert_eq!(sharded.strategy(), ShardStrategy::ByDataset);
+        assert_eq!(sharded.shard_lens().iter().sum::<usize>(), index.len());
+        // Content hashing spreads 160 vectors over 4 shards non-degenerately.
+        assert!(sharded.shard_lens().iter().filter(|&&l| l > 0).count() >= 2);
+    }
+
+    #[test]
+    fn fanout_and_query_threads_never_change_results() {
+        let (index, queries) = fixture(5);
+        let reference = ShardedIndex::build(&index, ShardStrategy::ByRepetition, 4);
+        let expect = reference.search_batch(&queries);
+        for threads in [0, 1, 2, 8] {
+            let sharded = ShardedIndex::build(&index, ShardStrategy::ByRepetition, 4)
+                .with_fanout_threads(threads)
+                .with_query_threads(threads);
+            assert_eq!(sharded.search_batch(&queries), expect, "threads={threads}");
+            for q in queries.iter().take(5) {
+                assert_eq!(sharded.search_all(q), reference.search_all(q));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_indexes_compose() {
+        // Tags stay global through a merge, so sharding a sharded index
+        // still reproduces the original output.
+        let (index, queries) = fixture(6);
+        let inner = ShardedIndex::build(&index, ShardStrategy::ByRepetition, 3);
+        for q in &queries {
+            let once = inner.search_all_tagged(q);
+            let direct = index.search_all_tagged(q);
+            assert_eq!(once, direct);
+        }
+    }
+
+    #[test]
+    fn partition_key_is_content_based() {
+        let a = SparseVec::from_unsorted(vec![3, 1, 4, 15]);
+        let b = SparseVec::from_unsorted(vec![15, 4, 3, 1]);
+        assert_eq!(set_partition_key(&a), set_partition_key(&b));
+        let c = SparseVec::from_unsorted(vec![3, 1, 4]);
+        assert_ne!(set_partition_key(&a), set_partition_key(&c));
+        assert_eq!(
+            set_partition_key(&SparseVec::empty()),
+            0x9E37_79B9_7F4A_7C15
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let (index, _) = fixture(2);
+        let _ = ShardedIndex::build(&index, ShardStrategy::ByRepetition, 0);
+    }
+}

@@ -12,6 +12,28 @@ pub struct Match {
     pub similarity: f64,
 }
 
+/// A [`Match`] annotated with *where* in the probe sequence its candidate was
+/// first discovered.
+///
+/// Every structure in this workspace probes in a sequence of **passes**
+/// (LSF repetitions, MinHash bands) and, within a pass, a sequence of
+/// **steps** (enumerated filters, band buckets); within one `(pass, step)`
+/// bucket, candidates surface in ascending id (bucket insertion order). The
+/// triple `(pass, step, id)` therefore totally orders candidate discovery,
+/// which is exactly what the sharding layer
+/// ([`crate::shard::ShardedIndex`]) needs to merge per-shard results back
+/// into the unsharded first-discovery order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaggedMatch {
+    /// Probe pass (repetition / band index) of the candidate's *first*
+    /// discovery.
+    pub pass: u32,
+    /// Step within the pass (filter / bucket index) of the first discovery.
+    pub step: u32,
+    /// The verified match itself.
+    pub hit: Match,
+}
+
 /// Common interface for set-similarity-search structures (the paper's
 /// indexes and every baseline implement this, so experiments and joins are
 /// generic over the structure).
@@ -71,6 +93,42 @@ pub trait SetSimilaritySearch {
     /// not rely on any similarity ordering; use
     /// [`SetSimilaritySearch::search_best`] for the maximum.
     fn search_all(&self, q: &SparseVec) -> Vec<Match>;
+
+    /// [`SetSimilaritySearch::search_all`] with discovery tags: the same
+    /// matches in the same order, each annotated with the `(pass, step)`
+    /// coordinates of its candidate's first discovery (see [`TaggedMatch`]).
+    ///
+    /// The projection `search_all_tagged(q)[i].hit == search_all(q)[i]` must
+    /// hold for every implementation. The default implementation tags the
+    /// whole structure as a single pass with one match per step — order-
+    /// preserving, but carrying no real probe structure. Index structures
+    /// override it with genuine `(repetition, filter)` / `(band, bucket)`
+    /// coordinates; the sharding layer's exact-merge guarantee
+    /// ([`crate::shard::ShardedIndex`]) only holds for such genuine tags.
+    fn search_all_tagged(&self, q: &SparseVec) -> Vec<TaggedMatch> {
+        self.search_all(q)
+            .into_iter()
+            .enumerate()
+            .map(|(step, hit)| TaggedMatch {
+                pass: 0,
+                step: step as u32,
+                hit,
+            })
+            .collect()
+    }
+
+    /// The tagged analogue of [`SetSimilaritySearch::search`]: the first
+    /// element of [`SetSimilaritySearch::search_all_tagged`], i.e. the
+    /// verified match whose discovery coordinate `(pass, step, id)` is
+    /// minimal.
+    ///
+    /// The default implementation materializes the full tagged list; index
+    /// structures override it with a genuinely early-exiting probe (stop at
+    /// the first verified hit), which is what lets the sharding layer answer
+    /// `search` without running every shard to completion.
+    fn search_first_tagged(&self, q: &SparseVec) -> Option<TaggedMatch> {
+        self.search_all_tagged(q).into_iter().next()
+    }
 
     /// Answers a batch of queries: element `i` of the result is exactly
     /// `self.search_all(&queries[i])`.
@@ -184,6 +242,26 @@ mod tests {
         let best: Vec<_> = queries.iter().map(|q| s.search_best(q)).collect();
         assert_eq!(s.search_batch(&queries), all);
         assert_eq!(s.search_batch_best(&queries), best);
+    }
+
+    #[test]
+    fn default_tagged_search_projects_to_search_all() {
+        let s = TwoVec {
+            data: vec![
+                SparseVec::from_unsorted(vec![1, 2, 3, 4]),
+                SparseVec::from_unsorted(vec![1, 2, 3]),
+            ],
+            t: 0.4,
+        };
+        let q = SparseVec::from_unsorted(vec![1, 2, 3]);
+        let tagged = s.search_all_tagged(&q);
+        let plain = s.search_all(&q);
+        assert_eq!(tagged.len(), plain.len());
+        for (i, (t, m)) in tagged.iter().zip(&plain).enumerate() {
+            assert_eq!(&t.hit, m);
+            assert_eq!(t.pass, 0);
+            assert_eq!(t.step, i as u32);
+        }
     }
 
     #[test]

@@ -107,13 +107,46 @@ mod tests {
         }
     }
 
+    /// Temp file at a path unique per process *and* per call, deleted even
+    /// when the test panics. A fixed path races when several test processes
+    /// (or parallel CI jobs sharing a temp dir) run this module at once.
+    struct TempFile(std::path::PathBuf);
+
+    impl TempFile {
+        fn create(contents: &str) -> Self {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            static UNIQUE: AtomicUsize = AtomicUsize::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "skewsearch_loader_test_{}_{}.txt",
+                std::process::id(),
+                UNIQUE.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::write(&path, contents).unwrap();
+            TempFile(path)
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+        }
+    }
+
     #[test]
     fn loads_from_disk() {
-        let path = std::env::temp_dir().join("skewsearch_loader_test.txt");
-        std::fs::write(&path, "10 20\n30\n").unwrap();
-        let ds = load_transactions(&path).unwrap();
-        std::fs::remove_file(&path).ok();
+        let file = TempFile::create("10 20\n30\n");
+        let ds = load_transactions(&file.0).unwrap();
         assert_eq!(ds.n(), 2);
         assert_eq!(ds.d(), 31);
+    }
+
+    #[test]
+    fn concurrent_loads_do_not_collide() {
+        // Two live temp files in one process must get distinct paths.
+        let a = TempFile::create("1\n");
+        let b = TempFile::create("2 3\n");
+        assert_ne!(a.0, b.0);
+        assert_eq!(load_transactions(&a.0).unwrap().n(), 1);
+        assert_eq!(load_transactions(&b.0).unwrap().n(), 1);
     }
 }

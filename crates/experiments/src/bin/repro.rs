@@ -8,6 +8,7 @@
 //! repro sec7-correlated [--log2n K]     §7.2 worked examples
 //! repro motivating [--d N] [--i1 X]     §1 motivating example
 //! repro scaling [--uniform] [--full]    Theorem 1/2 candidate scaling
+//! repro sharded [--shards a,b,c]        sharded-vs-unsharded equivalence sweep
 //! repro recall                          Lemma 5 recall-vs-repetitions
 //! repro all                             everything, default parameters
 //! ```
@@ -28,6 +29,7 @@ fn main() {
         "sec7-correlated" => run_sec7_correlated(&args),
         "motivating" => run_motivating(&args),
         "scaling" => run_scaling(&args),
+        "sharded" => run_sharded(&args),
         "recall" => run_recall(&args),
         "all" => {
             run_fig1(&args);
@@ -37,14 +39,15 @@ fn main() {
             run_sec7_correlated(&args);
             run_motivating(&args);
             run_scaling(&args);
+            run_sharded(&args);
             run_recall(&args);
         }
         _ => {
             eprintln!(
                 "usage: repro <fig1|fig2|table1|sec7-adversarial|sec7-correlated|\
-                 motivating|scaling|recall|all> [options]\n\
+                 motivating|scaling|sharded|recall|all> [options]\n\
                  options: --steps N --scale N --file PATH --log2n K --d N --i1 X \
-                 --uniform --full --seed S"
+                 --uniform --full --seed S --shards a,b,c"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
@@ -164,6 +167,22 @@ fn run_scaling(args: &[String]) {
     println!();
     print!("{}", s.summary().render_tsv());
     println!();
+}
+
+fn run_sharded(args: &[String]) {
+    let mut config = scaling::ScalingConfig::default_skewed();
+    config.seed = opt(args, "--seed", config.seed);
+    let shards: Vec<usize> = opt(args, "--shards", "1,2,4,8".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--shards takes e.g. 1,2,4,8"))
+        .collect();
+    let s = scaling::run_sharded(&config, &shards);
+    print!("{}", s.table().render_tsv());
+    println!();
+    assert!(
+        s.all_identical(),
+        "sharded answers diverged from the unsharded index"
+    );
 }
 
 fn run_recall(args: &[String]) {

@@ -280,6 +280,144 @@ pub fn run_adversarial(config: &ScalingConfig, b1: f64, deletions: usize) -> Sca
     }
 }
 
+/// Per-(n, strategy, shard-count) measurement of the sharded sweep.
+#[derive(Clone, Debug)]
+pub struct ShardedPoint {
+    /// Dataset size.
+    pub n: usize,
+    /// `"unsharded"`, `"by_repetition"`, or `"by_dataset"`.
+    pub strategy: &'static str,
+    /// Shard count (1 for the unsharded reference row).
+    pub shards: usize,
+    /// Mean verified matches per query.
+    pub avg_matches: f64,
+    /// Fraction of queries whose planted target was returned.
+    pub recall: f64,
+    /// Whether every per-query answer was byte-identical to the unsharded
+    /// index's (the sharding layer's core guarantee — must always be true).
+    pub identical: bool,
+}
+
+/// Result of [`run_sharded`].
+#[derive(Clone, Debug)]
+pub struct ShardedScaling {
+    /// All measurements.
+    pub points: Vec<ShardedPoint>,
+}
+
+impl ShardedScaling {
+    /// Measurement table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Sharded scaling: matches per query and equivalence vs the unsharded index",
+            &[
+                "n",
+                "strategy",
+                "shards",
+                "avg_matches",
+                "recall",
+                "identical",
+            ],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                p.n.to_string(),
+                p.strategy.to_string(),
+                p.shards.to_string(),
+                fmt(p.avg_matches, 2),
+                fmt(p.recall, 3),
+                p.identical.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// True iff every sharded row reproduced the unsharded answers exactly.
+    pub fn all_identical(&self) -> bool {
+        self.points.iter().all(|p| p.identical)
+    }
+}
+
+/// The sharded variant of [`run`]: sweeps the correlated index over the same
+/// `n`-grid, wrapping it in a [`ShardedIndex`](skewsearch_core::ShardedIndex)
+/// at each shard count under both strategies, and checks that every answer is
+/// byte-identical to the unsharded index while recording recall/throughput
+/// proxies. Queries are answered through the batch subsystem.
+pub fn run_sharded(config: &ScalingConfig, shard_counts: &[usize]) -> ShardedScaling {
+    use skewsearch_core::{SetSimilaritySearch, ShardStrategy, ShardedIndex};
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x54A8D);
+    let opts = IndexOptions {
+        repetitions: Repetitions::Fixed(config.repetitions),
+        ..IndexOptions::default()
+    };
+    let mut points = Vec::new();
+    for &n in &config.ns {
+        let profile = config.profile_for(n);
+        let ds = Dataset::generate(&profile, n, &mut rng);
+        let index = CorrelatedIndex::build(
+            &ds,
+            &profile,
+            CorrelatedParams::new(config.alpha)
+                .unwrap()
+                .with_options(opts),
+            &mut rng,
+        );
+        let mut targets = Vec::with_capacity(config.queries);
+        let mut qs = Vec::with_capacity(config.queries);
+        for _ in 0..config.queries {
+            let target = rng.random_range(0..n);
+            targets.push(target);
+            qs.push(correlated_query(
+                ds.vector(target),
+                &profile,
+                config.alpha,
+                &mut rng,
+            ));
+        }
+        let measure = |results: &[Vec<skewsearch_core::Match>]| {
+            let matches: usize = results.iter().map(Vec::len).sum();
+            let recall = targets
+                .iter()
+                .zip(results)
+                .filter(|(&t, ms)| ms.iter().any(|m| m.id == t))
+                .count();
+            (
+                matches as f64 / config.queries as f64,
+                recall as f64 / config.queries as f64,
+            )
+        };
+        let unsharded = index.search_batch_threads(&qs, 0);
+        let (avg, rec) = measure(&unsharded);
+        points.push(ShardedPoint {
+            n,
+            strategy: "unsharded",
+            shards: 1,
+            avg_matches: avg,
+            recall: rec,
+            identical: true,
+        });
+        for (strategy, label) in [
+            (ShardStrategy::ByRepetition, "by_repetition"),
+            (ShardStrategy::ByDataset, "by_dataset"),
+        ] {
+            for &shards in shard_counts {
+                let sharded = ShardedIndex::build(&index, strategy, shards);
+                let results = sharded.search_batch(&qs);
+                let (avg, rec) = measure(&results);
+                points.push(ShardedPoint {
+                    n,
+                    strategy: label,
+                    shards,
+                    avg_matches: avg,
+                    recall: rec,
+                    identical: results == unsharded,
+                });
+            }
+        }
+    }
+    ShardedScaling { points }
+}
+
 impl Scaling {
     /// Least-squares exponent of `avg_candidates` vs `n` for one method.
     pub fn fitted_exponent(&self, method: &str) -> f64 {
@@ -430,6 +568,32 @@ mod tests {
             s.mean_recall("ours")
         );
         assert!(s.predicted_rho_ours > 0.0 && s.predicted_rho_ours < 1.0);
+    }
+
+    #[test]
+    fn sharded_sweep_is_byte_identical_with_good_recall() {
+        let config = ScalingConfig {
+            ns: vec![250, 500],
+            queries: 20,
+            alpha: 0.75,
+            c: 6.0,
+            head_p: 0.25,
+            skew_divisor: 8.0,
+            repetitions: 4,
+            seed: 6,
+        };
+        let s = run_sharded(&config, &[1, 4]);
+        assert!(
+            s.all_identical(),
+            "sharded answers diverged: {:?}",
+            s.points
+        );
+        // 2 ns × (1 unsharded + 2 strategies × 2 shard counts).
+        assert_eq!(s.points.len(), 10);
+        for p in &s.points {
+            assert!(p.recall >= 0.7, "{p:?}");
+        }
+        assert_eq!(s.table().rows.len(), 10);
     }
 
     #[test]

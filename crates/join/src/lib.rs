@@ -49,6 +49,13 @@ fn collect_pairs(per_query: Vec<Vec<skewsearch_core::Match>>) -> Vec<JoinPair> {
 /// thread-pooled batch override (the LSF indexes, MinHash) answer the probe
 /// side in parallel with results identical to the sequential loop; pairs are
 /// emitted in `r` order.
+///
+/// This is also the **sharded** join: a
+/// [`ShardedIndex`](skewsearch_core::ShardedIndex) implements the trait with
+/// answers byte-identical to the index it partitions, so passing one here
+/// yields exactly the unsharded join's pairs while the probe side
+/// parallelizes across queries and each query fans out across shards
+/// (pinned by the `sharded_join_matches_unsharded_exactly` test).
 pub fn similarity_join<I: SetSimilaritySearch>(r: &[SparseVec], index: &I) -> Vec<JoinPair> {
     collect_pairs(index.search_batch(r))
 }
@@ -58,6 +65,14 @@ pub fn similarity_join<I: SetSimilaritySearch>(r: &[SparseVec], index: &I) -> Ve
 /// configuration. Work is distributed by chunked work stealing
 /// ([`skewsearch_core::batch_map`]); output is identical to the sequential
 /// join for every thread count.
+///
+/// With a [`ShardedIndex`](skewsearch_core::ShardedIndex), prefer
+/// [`similarity_join`]: its `search_batch` pins the per-query shard fan-out
+/// to one worker, whereas this function's per-query `search_all` calls fan
+/// out at the index's `fanout_threads` *inside* each probe worker —
+/// `threads × fanout` scoped threads per query wave (results unchanged,
+/// throughput oversubscribed). If you do use this, build the sharded index
+/// with `with_fanout_threads(1)`.
 pub fn similarity_join_parallel<I: SetSimilaritySearch + Sync>(
     r: &[SparseVec],
     index: &I,
@@ -202,6 +217,36 @@ mod tests {
         // Precision is exact by construction (verified candidates only).
         for p in &found {
             assert!(p.similarity >= index.threshold());
+        }
+    }
+
+    #[test]
+    fn sharded_join_matches_unsharded_exactly() {
+        use skewsearch_core::{ShardStrategy, ShardedIndex};
+        let profile = BernoulliProfile::two_block(700, 0.2, 0.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(93);
+        let s = Dataset::generate(&profile, 150, &mut rng);
+        let alpha = 0.85;
+        let r: Vec<SparseVec> = (0..50)
+            .map(|t| correlated_query(s.vector(t), &profile, alpha, &mut rng))
+            .collect();
+        let params = CorrelatedParams::new(alpha)
+            .unwrap()
+            .with_options(IndexOptions {
+                repetitions: Repetitions::Fixed(8),
+                ..IndexOptions::default()
+            });
+        let index = CorrelatedIndex::build(&s, &profile, params, &mut rng);
+        let unsharded = similarity_join(&r, &index);
+        for strategy in [ShardStrategy::ByRepetition, ShardStrategy::ByDataset] {
+            for shards in [1, 4] {
+                let sharded = ShardedIndex::build(&index, strategy, shards);
+                assert_eq!(
+                    similarity_join(&r, &sharded),
+                    unsharded,
+                    "{strategy:?} shards={shards}"
+                );
+            }
         }
     }
 

@@ -14,6 +14,9 @@ use skewsearch::core::{
 use skewsearch::datagen::{correlated_query, BernoulliProfile, Dataset};
 use skewsearch::sets::SparseVec;
 
+mod common;
+use common::thread_counts;
+
 const SEED: u64 = 0xBA7C4;
 const ALPHA: f64 = 0.7;
 const N: usize = 300;
@@ -55,7 +58,7 @@ fn assert_batch_matches_sequential<I: SetSimilaritySearch>(
 #[test]
 fn lsf_index_batch_equivalence() {
     let (ds, profile, queries) = fixture();
-    for threads in [1, 8] {
+    for threads in thread_counts() {
         let mut rng = StdRng::seed_from_u64(SEED);
         let scheme = CorrelatedScheme::new(ALPHA, ds.n(), &profile);
         let index = LsfIndex::build(
@@ -82,7 +85,7 @@ fn lsf_index_batch_equivalence() {
 #[test]
 fn correlated_index_batch_equivalence() {
     let (ds, profile, queries) = fixture();
-    for threads in [1, 8] {
+    for threads in thread_counts() {
         let mut rng = StdRng::seed_from_u64(SEED ^ 2);
         let params = CorrelatedParams::new(ALPHA)
             .unwrap()
@@ -95,7 +98,7 @@ fn correlated_index_batch_equivalence() {
 #[test]
 fn adversarial_index_batch_equivalence() {
     let (ds, profile, queries) = fixture();
-    for threads in [1, 8] {
+    for threads in thread_counts() {
         let mut rng = StdRng::seed_from_u64(SEED ^ 3);
         let params = AdversarialParams::new(ALPHA / 1.3)
             .unwrap()
@@ -108,7 +111,7 @@ fn adversarial_index_batch_equivalence() {
 #[test]
 fn chosen_path_index_batch_equivalence() {
     let (ds, profile, queries) = fixture();
-    for threads in [1, 8] {
+    for threads in thread_counts() {
         let mut rng = StdRng::seed_from_u64(SEED ^ 4);
         let params = ChosenPathParams::for_correlated_model(&profile, ALPHA, 1.0 / 1.3)
             .unwrap()
@@ -121,7 +124,7 @@ fn chosen_path_index_batch_equivalence() {
 #[test]
 fn minhash_batch_equivalence() {
     let (ds, _, queries) = fixture();
-    for threads in [1, 8] {
+    for threads in thread_counts() {
         let mut rng = StdRng::seed_from_u64(SEED ^ 5);
         let mut params = MinHashParams::new(0.6, 0.3).unwrap();
         params.query_threads = threads;

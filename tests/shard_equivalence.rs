@@ -1,0 +1,266 @@
+//! Sharding semantics: for every index type, a `ShardedIndex` must answer
+//! `search`, `search_all`, `search_all_tagged`, `search_batch`, and
+//! `search_batch_best` **byte-identically** to the unsharded index it was
+//! partitioned from — under both strategies, at every shard count, including
+//! degenerate partitions where some shards are empty.
+//!
+//! Deterministic tests pin the 5 index types × 2 strategies × {1, 8} shards
+//! grid from the acceptance criteria; a proptest block then randomizes the
+//! dataset, correlation, and shard count over {1, 3, 8}.
+//!
+//! Thread counts: the per-query shard fan-out and the batch executor are
+//! exercised at 1 and 8 workers, plus the value of `SKEWSEARCH_TEST_THREADS`
+//! when set (CI sets it to `nproc` on multicore hosts so these suites run at
+//! real parallelism — see `.github/workflows/ci.yml`).
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch::baselines::{ChosenPathIndex, ChosenPathParams, MinHashLsh, MinHashParams};
+use skewsearch::core::{
+    AdversarialIndex, AdversarialParams, CorrelatedIndex, CorrelatedParams, CorrelatedScheme,
+    IndexOptions, LsfIndex, Repetitions, SetSimilaritySearch, ShardStrategy, Shardable,
+    ShardedIndex,
+};
+use skewsearch::datagen::{correlated_query, BernoulliProfile, Dataset};
+use skewsearch::sets::SparseVec;
+
+mod common;
+use common::thread_counts;
+
+const SEED: u64 = 0x54A8D;
+const ALPHA: f64 = 0.7;
+const STRATEGIES: [ShardStrategy; 2] = [ShardStrategy::ByRepetition, ShardStrategy::ByDataset];
+
+fn fixture(n: usize, seed: u64) -> (Dataset, BernoulliProfile, Vec<SparseVec>) {
+    let profile = BernoulliProfile::blocks(&[(60, 0.2), (900, 0.01)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = Dataset::generate(&profile, n, &mut rng);
+    let mut queries: Vec<SparseVec> = (0..30)
+        .map(|t| correlated_query(ds.vector(t * 11 % n.max(1)), &profile, ALPHA, &mut rng))
+        .collect();
+    queries.push(SparseVec::empty()); // degenerate query rides along
+    (ds, profile, queries)
+}
+
+fn opts(reps: usize) -> IndexOptions {
+    IndexOptions {
+        repetitions: Repetitions::Fixed(reps),
+        ..IndexOptions::default()
+    }
+}
+
+/// The core assertion: every trait entry point of the sharded wrapper equals
+/// the unsharded index's answer, byte for byte, at every worker count.
+fn assert_sharded_identical<I: Shardable + Send + Sync>(
+    index: &I,
+    queries: &[SparseVec],
+    shard_counts: &[usize],
+    label: &str,
+) {
+    let all: Vec<_> = queries.iter().map(|q| index.search_all(q)).collect();
+    let tagged: Vec<_> = queries.iter().map(|q| index.search_all_tagged(q)).collect();
+    let first: Vec<_> = queries.iter().map(|q| index.search(q)).collect();
+    let first_tagged: Vec<_> = queries
+        .iter()
+        .map(|q| index.search_first_tagged(q))
+        .collect();
+    let best: Vec<_> = queries.iter().map(|q| index.search_best(q)).collect();
+    for strategy in STRATEGIES {
+        for &shards in shard_counts {
+            for threads in thread_counts() {
+                let sharded = ShardedIndex::build(index, strategy, shards)
+                    .with_fanout_threads(threads)
+                    .with_query_threads(threads);
+                let ctx = format!("{label} {strategy:?} shards={shards} threads={threads}");
+                assert_eq!(sharded.len(), index.len(), "{ctx}");
+                assert_eq!(sharded.threshold(), index.threshold(), "{ctx}");
+                for (i, q) in queries.iter().enumerate() {
+                    assert_eq!(sharded.search_all(q), all[i], "{ctx} q={i}");
+                    assert_eq!(sharded.search_all_tagged(q), tagged[i], "{ctx} q={i}");
+                    assert_eq!(sharded.search(q), first[i], "{ctx} q={i}");
+                    assert_eq!(
+                        sharded.search_first_tagged(q),
+                        first_tagged[i],
+                        "{ctx} q={i}"
+                    );
+                }
+                assert_eq!(sharded.search_batch(queries), all, "{ctx}");
+                assert_eq!(sharded.search_batch_best(queries), best, "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn lsf_index_shard_equivalence() {
+    let (ds, profile, queries) = fixture(250, SEED);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 1);
+    let scheme = CorrelatedScheme::new(ALPHA, ds.n(), &profile);
+    let index = LsfIndex::build(
+        ds.vectors().to_vec(),
+        profile.clone(),
+        scheme,
+        ALPHA / 1.3,
+        opts(6),
+        &mut rng,
+    );
+    assert_sharded_identical(&index, &queries, &[1, 8], "LsfIndex");
+}
+
+#[test]
+fn correlated_index_shard_equivalence() {
+    let (ds, profile, queries) = fixture(250, SEED);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 2);
+    let params = CorrelatedParams::new(ALPHA).unwrap().with_options(opts(6));
+    let index = CorrelatedIndex::build(&ds, &profile, params, &mut rng);
+    assert_sharded_identical(&index, &queries, &[1, 8], "CorrelatedIndex");
+}
+
+#[test]
+fn adversarial_index_shard_equivalence() {
+    let (ds, profile, queries) = fixture(250, SEED);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 3);
+    let params = AdversarialParams::new(ALPHA / 1.3)
+        .unwrap()
+        .with_options(opts(6));
+    let index = AdversarialIndex::build(&ds, &profile, params, &mut rng);
+    assert_sharded_identical(&index, &queries, &[1, 8], "AdversarialIndex");
+}
+
+#[test]
+fn chosen_path_index_shard_equivalence() {
+    let (ds, profile, queries) = fixture(250, SEED);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 4);
+    let params = ChosenPathParams::for_correlated_model(&profile, ALPHA, 1.0 / 1.3)
+        .unwrap()
+        .with_options(opts(6));
+    let index = ChosenPathIndex::build(&ds, &profile, params, &mut rng);
+    assert_sharded_identical(&index, &queries, &[1, 8], "ChosenPathIndex");
+}
+
+#[test]
+fn minhash_shard_equivalence() {
+    let (ds, _, queries) = fixture(250, SEED);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 5);
+    let params = MinHashParams::new(0.6, 0.3).unwrap();
+    let index = MinHashLsh::build(&ds, params, &mut rng);
+    assert_sharded_identical(&index, &queries, &[1, 8], "MinHashLsh");
+}
+
+#[test]
+fn empty_shards_from_tiny_datasets_are_exact() {
+    // 5 vectors over 8 dataset shards: at least three shards hold nothing.
+    // 3 repetitions over 8 repetition shards: at least five passes-shards
+    // are empty. Both partitions must still be byte-identical.
+    let (ds, profile, _) = fixture(5, SEED ^ 6);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 6);
+    let params = CorrelatedParams::new(ALPHA).unwrap().with_options(opts(3));
+    let index = CorrelatedIndex::build(&ds, &profile, params, &mut rng);
+    let queries: Vec<SparseVec> = (0..5)
+        .map(|t| correlated_query(ds.vector(t), &profile, ALPHA, &mut rng))
+        .chain(std::iter::once(SparseVec::empty()))
+        .collect();
+    for strategy in STRATEGIES {
+        let sharded = ShardedIndex::build(&index, strategy, 8);
+        assert_eq!(sharded.shard_count(), 8);
+        if strategy == ShardStrategy::ByDataset {
+            assert!(
+                sharded.shard_lens().iter().filter(|&&l| l == 0).count() >= 3,
+                "expected empty shards, got {:?}",
+                sharded.shard_lens()
+            );
+        }
+        for q in &queries {
+            assert_eq!(sharded.search_all(q), index.search_all(q), "{strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn empty_index_shards_find_nothing() {
+    let profile = BernoulliProfile::uniform(50, 0.2).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED ^ 7);
+    let scheme = CorrelatedScheme::new(0.5, 2, &profile);
+    let index: LsfIndex<CorrelatedScheme> = LsfIndex::build(
+        vec![],
+        profile,
+        scheme,
+        0.5,
+        IndexOptions::default(),
+        &mut rng,
+    );
+    for strategy in STRATEGIES {
+        let sharded = ShardedIndex::build(&index, strategy, 4);
+        assert!(sharded.is_empty());
+        assert!(sharded
+            .search(&SparseVec::from_unsorted(vec![1, 2]))
+            .is_none());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized sweep of the acceptance grid: all five index types, both
+    /// strategies, shard counts drawn from {1, 3, 8}, over random dataset
+    /// sizes (small enough that 8-way dataset partitions regularly produce
+    /// empty shards).
+    #[test]
+    fn sharded_equals_unsharded_for_all_index_types(
+        seed in 0u64..1_000_000,
+        shards_ix in 0usize..3,
+        n in 40usize..120,
+    ) {
+        let shard_counts = [1usize, 3, 8];
+        let shards = [shard_counts[shards_ix]];
+        let (ds, profile, queries) = fixture(n, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        // First eleven correlated queries plus the trailing empty query.
+        let queries: Vec<SparseVec> = queries[..11]
+            .iter()
+            .chain(queries.last())
+            .cloned()
+            .collect();
+        let queries = &queries[..];
+
+        let scheme = CorrelatedScheme::new(ALPHA, ds.n(), &profile);
+        let lsf = LsfIndex::build(
+            ds.vectors().to_vec(),
+            profile.clone(),
+            scheme,
+            ALPHA / 1.3,
+            opts(3),
+            &mut rng,
+        );
+        assert_sharded_identical(&lsf, queries, &shards, "prop LsfIndex");
+
+        let correlated = CorrelatedIndex::build(
+            &ds,
+            &profile,
+            CorrelatedParams::new(ALPHA).unwrap().with_options(opts(3)),
+            &mut rng,
+        );
+        assert_sharded_identical(&correlated, queries, &shards, "prop CorrelatedIndex");
+
+        let adversarial = AdversarialIndex::build(
+            &ds,
+            &profile,
+            AdversarialParams::new(ALPHA / 1.3).unwrap().with_options(opts(3)),
+            &mut rng,
+        );
+        assert_sharded_identical(&adversarial, queries, &shards, "prop AdversarialIndex");
+
+        let chosen_path = ChosenPathIndex::build(
+            &ds,
+            &profile,
+            ChosenPathParams::for_correlated_model(&profile, ALPHA, 1.0 / 1.3)
+                .unwrap()
+                .with_options(opts(3)),
+            &mut rng,
+        );
+        assert_sharded_identical(&chosen_path, queries, &shards, "prop ChosenPathIndex");
+
+        let minhash = MinHashLsh::build(&ds, MinHashParams::new(0.6, 0.3).unwrap(), &mut rng);
+        assert_sharded_identical(&minhash, queries, &shards, "prop MinHashLsh");
+    }
+}

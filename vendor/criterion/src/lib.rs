@@ -6,7 +6,9 @@
 //! macros — with a simple warm-up + timed-samples loop that prints the mean
 //! wall-clock time per iteration. No statistics, plots, or CLI filtering;
 //! `--bench`-style extra args are accepted and ignored so `cargo bench`
-//! invocations pass through.
+//! invocations pass through. The one recognized flag is real Criterion's
+//! `--quick` (also `CRITERION_QUICK=1` in the environment), which shrinks
+//! every budget so CI can smoke-execute the whole suite.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -51,8 +53,21 @@ impl Criterion {
         self
     }
 
-    /// Accepts and ignores harness CLI arguments (kept for API parity).
-    pub fn configure_from_args(self) -> Self {
+    /// Applies harness CLI/env configuration. Like real Criterion, the
+    /// `--quick` flag (or `CRITERION_QUICK=1` in the environment) collapses
+    /// the warm-up and measurement budgets to a single short sample, so
+    /// `cargo bench -- --quick` smoke-executes every bench in seconds — the
+    /// mode CI uses to catch bench rot without paying for real measurements.
+    /// All other `--bench`-style args are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("CRITERION_QUICK")
+                .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+        if quick {
+            self.sample_size = 1;
+            self.warm_up_time = Duration::from_millis(1);
+            self.measurement_time = Duration::from_millis(1);
+        }
         self
     }
 
