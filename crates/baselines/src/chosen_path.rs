@@ -160,6 +160,21 @@ impl SetSimilaritySearch for ChosenPathIndex {
     fn search_first_tagged(&self, q: &SparseVec) -> Option<skewsearch_core::TaggedMatch> {
         self.inner.search_first_tagged(q)
     }
+    fn plan_query(&self, q: &SparseVec) -> skewsearch_core::QueryPlan {
+        self.inner.plan_query(q)
+    }
+    fn probe_plan_tagged(
+        &self,
+        plan: &skewsearch_core::QueryPlan,
+    ) -> Vec<skewsearch_core::TaggedMatch> {
+        SetSimilaritySearch::probe_plan_tagged(&self.inner, plan)
+    }
+    fn probe_plan_first_tagged(
+        &self,
+        plan: &skewsearch_core::QueryPlan,
+    ) -> Option<skewsearch_core::TaggedMatch> {
+        self.inner.probe_plan_first_tagged(plan)
+    }
     fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
         self.inner.search_batch(queries)
     }

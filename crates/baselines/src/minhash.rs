@@ -96,6 +96,30 @@ impl Band {
     }
 }
 
+/// The probe stage for one band, shared by the fused and the planned query
+/// paths: looks `keys` (the band signature — at most one) up in the band's
+/// bucket table, feeds each globally unseen candidate to `visit`, and
+/// returns `false` iff `visit` stopped the probe. The single bucket-walk
+/// loop keeps both paths byte-identical by construction.
+fn probe_band_keys(
+    band: &Band,
+    pass: u32,
+    keys: &[u64],
+    seen: &mut skewsearch_hashing::FxHashSet<u32>,
+    visit: &mut impl FnMut(u32, u32) -> bool,
+) -> bool {
+    for key in keys {
+        if let Some(bucket) = band.buckets.get(key) {
+            for &id in bucket {
+                if seen.insert(id) && !visit(pass, id) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 /// MinHash LSH index.
 pub struct MinHashLsh {
     vectors: Vec<SparseVec>,
@@ -155,14 +179,57 @@ impl MinHashLsh {
     /// merge protocol needs.
     pub fn probe_tagged(&self, q: &SparseVec, mut visit: impl FnMut(u32, u32) -> bool) {
         let mut seen = skewsearch_hashing::FxHashSet::default();
-        'bands: for (pass, band) in self.bands.iter().enumerate() {
+        for (pass, band) in self.bands.iter().enumerate() {
             let Some(sig) = band.signature(q) else { return };
-            if let Some(bucket) = band.buckets.get(&sig) {
-                for &id in bucket {
-                    if seen.insert(id) && !visit(pass as u32, id) {
-                        break 'bands;
-                    }
-                }
+            if !probe_band_keys(band, pass as u32, &[sig], &mut seen, &mut visit) {
+                break;
+            }
+        }
+    }
+
+    /// Stage 1 of the enumerate→probe→verify pipeline for MinHash: the
+    /// "enumeration" is the `L · r` min-wise hash evaluations producing one
+    /// band signature each, so the plan carries one single-key list per band
+    /// (empty for the empty query, which has no signature).
+    ///
+    /// The plan is valid for this index and for any
+    /// [`Shardable::shard_of_ids`](skewsearch_core::Shardable::shard_of_ids)
+    /// dataset shard (shards keep the band hash functions), and, via
+    /// [`QueryPlan::slice_passes`](skewsearch_core::QueryPlan::slice_passes),
+    /// for band-slice shards.
+    pub fn plan_query(&self, q: &SparseVec) -> skewsearch_core::QueryPlan {
+        let passes = self
+            .bands
+            .iter()
+            .map(|band| band.signature(q).map_or_else(Vec::new, |sig| vec![sig]))
+            .collect();
+        skewsearch_core::QueryPlan::from_passes(q.clone(), passes)
+    }
+
+    /// [`MinHashLsh::probe_tagged`] driven by a precomputed plan: only the
+    /// band bucket tables are touched for a planned plan (no signature
+    /// hashing); unplanned plans fall back to the fused probe. Byte-identical
+    /// visit sequence — both paths share one bucket-walk loop.
+    ///
+    /// # Panics
+    /// Panics if a planned plan's pass count differs from the band count.
+    pub fn probe_plan_tagged_with(
+        &self,
+        plan: &skewsearch_core::QueryPlan,
+        mut visit: impl FnMut(u32, u32) -> bool,
+    ) {
+        let Some(passes) = plan.passes() else {
+            return self.probe_tagged(plan.query(), visit);
+        };
+        assert_eq!(
+            passes.len(),
+            self.bands.len(),
+            "QueryPlan pass count does not match this index's bands"
+        );
+        let mut seen = skewsearch_hashing::FxHashSet::default();
+        for ((pass, band), keys) in self.bands.iter().enumerate().zip(passes) {
+            if !probe_band_keys(band, pass as u32, keys, &mut seen, &mut visit) {
+                break;
             }
         }
     }
@@ -182,6 +249,17 @@ impl MinHashLsh {
     /// [`MinHashParams::query_threads`].
     pub fn search_batch_threads(&self, queries: &[SparseVec], threads: usize) -> Vec<Vec<Match>> {
         skewsearch_core::batch_map(queries, threads, |q| self.search_all(q))
+    }
+
+    /// Verifies candidate `id` against `q`: its [`Match`] iff the similarity
+    /// clears the threshold — the single verification site every search and
+    /// probe entry point shares.
+    fn verified(&self, q: &SparseVec, id: u32) -> Option<Match> {
+        let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
+        (sim >= self.threshold).then_some(Match {
+            id: id as usize,
+            similarity: sim,
+        })
     }
 }
 
@@ -209,16 +287,8 @@ impl SetSimilaritySearch for MinHashLsh {
     fn search_all_tagged(&self, q: &SparseVec) -> Vec<skewsearch_core::TaggedMatch> {
         let mut out = Vec::new();
         self.probe_tagged(q, |pass, id| {
-            let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
-            if sim >= self.threshold {
-                out.push(skewsearch_core::TaggedMatch {
-                    pass,
-                    step: 0,
-                    hit: Match {
-                        id: id as usize,
-                        similarity: sim,
-                    },
-                });
+            if let Some(hit) = self.verified(q, id) {
+                out.push(skewsearch_core::TaggedMatch { pass, step: 0, hit });
             }
             true
         });
@@ -230,20 +300,50 @@ impl SetSimilaritySearch for MinHashLsh {
     fn search_first_tagged(&self, q: &SparseVec) -> Option<skewsearch_core::TaggedMatch> {
         let mut first = None;
         self.probe_tagged(q, |pass, id| {
-            let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
-            if sim >= self.threshold {
-                first = Some(skewsearch_core::TaggedMatch {
-                    pass,
-                    step: 0,
-                    hit: Match {
-                        id: id as usize,
-                        similarity: sim,
-                    },
-                });
-                false
-            } else {
-                true
+            first = self
+                .verified(q, id)
+                .map(|hit| skewsearch_core::TaggedMatch { pass, step: 0, hit });
+            first.is_none()
+        });
+        first
+    }
+
+    /// Stage 1: one signature per band — see [`MinHashLsh::plan_query`].
+    fn plan_query(&self, q: &SparseVec) -> skewsearch_core::QueryPlan {
+        MinHashLsh::plan_query(self, q)
+    }
+
+    /// Stages 2+3 from a precomputed plan: band bucket lookups via
+    /// [`MinHashLsh::probe_plan_tagged_with`], byte-identical to
+    /// `search_all_tagged(plan.query())`.
+    fn probe_plan_tagged(
+        &self,
+        plan: &skewsearch_core::QueryPlan,
+    ) -> Vec<skewsearch_core::TaggedMatch> {
+        let q = plan.query();
+        let mut out = Vec::new();
+        self.probe_plan_tagged_with(plan, |pass, id| {
+            if let Some(hit) = self.verified(q, id) {
+                out.push(skewsearch_core::TaggedMatch { pass, step: 0, hit });
             }
+            true
+        });
+        out
+    }
+
+    /// Early-exiting planned probe: stops at the first verified hit without
+    /// re-hashing signatures when the plan is planned.
+    fn probe_plan_first_tagged(
+        &self,
+        plan: &skewsearch_core::QueryPlan,
+    ) -> Option<skewsearch_core::TaggedMatch> {
+        let q = plan.query();
+        let mut first = None;
+        self.probe_plan_tagged_with(plan, |pass, id| {
+            first = self
+                .verified(q, id)
+                .map(|hit| skewsearch_core::TaggedMatch { pass, step: 0, hit });
+            first.is_none()
         });
         first
     }
@@ -368,6 +468,31 @@ mod tests {
             }
         }
         assert!(hits >= trials / 2, "hits={hits}/{trials}");
+    }
+
+    #[test]
+    fn planned_probe_matches_fused_search() {
+        let profile = BernoulliProfile::uniform(500, 0.06).unwrap();
+        let mut rng = StdRng::seed_from_u64(75);
+        let ds = Dataset::generate(&profile, 150, &mut rng);
+        let index = MinHashLsh::build(&ds, MinHashParams::new(0.6, 0.2).unwrap(), &mut rng);
+        for t in 0..10 {
+            let q = correlated_query(ds.vector(t * 7), &profile, 0.9, &mut rng);
+            let plan = SetSimilaritySearch::plan_query(&index, &q);
+            assert_eq!(plan.pass_count(), index.plan().1);
+            assert_eq!(
+                SetSimilaritySearch::probe_plan_tagged(&index, &plan),
+                index.search_all_tagged(&q)
+            );
+            assert_eq!(
+                index.probe_plan_first_tagged(&plan),
+                index.search_first_tagged(&q)
+            );
+        }
+        // Empty query: no signatures, so every planned pass is empty.
+        let plan = SetSimilaritySearch::plan_query(&index, &SparseVec::empty());
+        assert_eq!(plan.key_count(), 0);
+        assert!(index.probe_plan(&plan).is_empty());
     }
 
     #[test]

@@ -109,6 +109,54 @@ where
         .collect()
 }
 
+/// Groups equal items so repeated work is paid once: returns
+/// `(representatives, slot_of)` where `representatives` indexes the first
+/// occurrence of each distinct item (in first-appearance order) and
+/// `slot_of[i]` is the position in `representatives` answering item `i`.
+///
+/// This is the dedup behind [`batch_map_distinct`] and the join layer's
+/// plan-once-per-distinct-query guarantee: a probe batch with duplicate sets
+/// (common after `ByDataset`'s content-hash co-location) enumerates, plans,
+/// and probes each *distinct* query exactly once.
+pub fn distinct_slots<Q: std::hash::Hash + Eq>(items: &[Q]) -> (Vec<usize>, Vec<usize>) {
+    let mut first: skewsearch_hashing::FxHashMap<&Q, usize> =
+        skewsearch_hashing::FxHashMap::default();
+    let mut representatives = Vec::new();
+    let mut slot_of = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let next = representatives.len();
+        let slot = *first.entry(item).or_insert(next);
+        if slot == next {
+            representatives.push(i);
+        }
+        slot_of.push(slot);
+    }
+    (representatives, slot_of)
+}
+
+/// [`batch_map`] that evaluates `f` **once per distinct item**: equal items
+/// (by `Eq`/`Hash`) share one evaluation, whose output is cloned into every
+/// occurrence's slot. Output equals `batch_map(items, threads, f)` whenever
+/// `f` is a pure function of the item — which every search structure in this
+/// workspace is (indexes are immutable at query time).
+///
+/// The distinct evaluations still run on the work-stealing executor, so a
+/// heavily duplicated batch both shrinks and stays parallel.
+pub fn batch_map_distinct<Q, T, F>(items: &[Q], threads: usize, f: F) -> Vec<T>
+where
+    Q: Sync + std::hash::Hash + Eq,
+    T: Send + Clone,
+    F: Fn(&Q) -> T + Sync,
+{
+    let (representatives, slot_of) = distinct_slots(items);
+    if representatives.len() == items.len() {
+        return batch_map(items, threads, f);
+    }
+    let distinct: Vec<&Q> = representatives.iter().map(|&i| &items[i]).collect();
+    let outputs = batch_map(&distinct, threads, |q| f(q));
+    slot_of.into_iter().map(|s| outputs[s].clone()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +208,35 @@ mod tests {
                 assert_eq!(got, expect, "chunk={chunk} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn distinct_slots_groups_equal_items_in_first_appearance_order() {
+        let items = vec!["a", "b", "a", "c", "b", "a"];
+        let (reps, slot_of) = distinct_slots(&items);
+        assert_eq!(reps, vec![0, 1, 3]);
+        assert_eq!(slot_of, vec![0, 1, 0, 2, 1, 0]);
+        let empty: Vec<u32> = vec![];
+        assert_eq!(distinct_slots(&empty), (vec![], vec![]));
+    }
+
+    #[test]
+    fn batch_map_distinct_equals_batch_map_and_counts_evaluations() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items = vec![3u32, 5, 3, 3, 7, 5, 11];
+        let expect: Vec<u32> = items.iter().map(|x| x * 2).collect();
+        for threads in [1, 4] {
+            let calls = AtomicUsize::new(0);
+            let got = batch_map_distinct(&items, threads, |x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                x * 2
+            });
+            assert_eq!(got, expect, "threads={threads}");
+            assert_eq!(calls.load(Ordering::Relaxed), 4, "one call per distinct");
+        }
+        // All-distinct batches take the direct path.
+        let unique = vec![1u32, 2, 3];
+        assert_eq!(batch_map_distinct(&unique, 2, |x| x + 1), vec![2, 3, 4]);
     }
 
     #[test]

@@ -176,6 +176,15 @@ impl SetSimilaritySearch for CorrelatedIndex {
     fn search_first_tagged(&self, q: &SparseVec) -> Option<crate::TaggedMatch> {
         self.inner.search_first_tagged(q)
     }
+    fn plan_query(&self, q: &SparseVec) -> crate::QueryPlan {
+        self.inner.plan_query(q)
+    }
+    fn probe_plan_tagged(&self, plan: &crate::QueryPlan) -> Vec<crate::TaggedMatch> {
+        SetSimilaritySearch::probe_plan_tagged(&self.inner, plan)
+    }
+    fn probe_plan_first_tagged(&self, plan: &crate::QueryPlan) -> Option<crate::TaggedMatch> {
+        self.inner.probe_plan_first_tagged(plan)
+    }
     fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
         self.inner.search_batch(queries)
     }

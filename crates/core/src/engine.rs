@@ -29,6 +29,23 @@ use skewsearch_sets::SparseVec;
 /// Default per-vector node budget (expansion attempts across the DFS).
 pub const DEFAULT_NODE_BUDGET: usize = 1 << 21;
 
+/// Process-wide count of filter-set enumerations (instrumentation).
+static ENUMERATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Process-wide count of [`enumerate_filters_with`] invocations — one per
+/// `(vector, hash stack)` pair, so a full `F(q)` derivation over `R`
+/// repetitions adds exactly `R`.
+///
+/// This is the counting hook the plan-pipeline tests use to assert that a
+/// `ByDataset`-sharded index enumerates each query's filter set **once**
+/// regardless of shard count (`tests/enumeration_count.rs`); the counter is
+/// a single relaxed atomic increment per enumeration, negligible next to the
+/// DFS it counts. It is process-global and monotone — measure *deltas*, and
+/// serialize measured regions against other enumerating threads.
+pub fn enumeration_count() -> u64 {
+    ENUMERATIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Statistics from one enumeration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EnumStats {
@@ -130,6 +147,7 @@ pub fn enumerate_filters_with<S: ThresholdScheme>(
     node_budget: usize,
     out: &mut Vec<PathKey>,
 ) -> EnumStats {
+    ENUMERATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut stats = EnumStats::default();
     if context.x.is_empty() {
         return stats;

@@ -21,6 +21,7 @@
 
 use crate::batch::batch_map;
 use crate::engine::{enumerate_filters_with, EnumContext, EnumStats, DEFAULT_NODE_BUDGET};
+use crate::plan::QueryPlan;
 use crate::scheme::ThresholdScheme;
 use crate::traits::{Match, SetSimilaritySearch};
 use rand::{Rng, SeedableRng};
@@ -135,6 +136,41 @@ struct Repetition {
     hashers: PathHasherStack,
     interner: TabulationU128,
     buckets: FxHashMap<u64, Vec<u32>>,
+}
+
+/// The probe stage for one pass, shared by the fused and the planned query
+/// paths: looks `keys` up in the repetition's bucket table in order, feeds
+/// each *globally unseen* candidate to `visit` with its discovery coordinate
+/// `(pass, step, id)`, and returns `false` iff `visit` stopped the probe.
+///
+/// Both front ends — lazy per-repetition enumeration
+/// ([`LsfIndex::probe_tagged`]) and a precomputed [`QueryPlan`]
+/// ([`LsfIndex::probe_plan_tagged`]) — funnel through this one loop, which is
+/// what keeps their answers byte-identical by construction.
+fn probe_pass_keys(
+    rep: &Repetition,
+    pass: u32,
+    keys: &[u64],
+    seen: &mut FxHashSet<u32>,
+    stats: &mut QueryStats,
+    visit: &mut impl FnMut(u32, u32, u32) -> bool,
+) -> bool {
+    stats.repetitions_probed += 1;
+    stats.filters += keys.len();
+    for (step, key) in keys.iter().enumerate() {
+        if let Some(bucket) = rep.buckets.get(key) {
+            stats.candidates += bucket.len();
+            for &id in bucket {
+                if seen.insert(id) {
+                    stats.verified += 1;
+                    if !visit(pass, step as u32, id) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
 }
 
 /// Per-chunk enumeration result (`pairs` in ascending id order, keys already
@@ -378,9 +414,9 @@ impl<S: ThresholdScheme> LsfIndex<S> {
         let mut stats = QueryStats::default();
         let mut seen: FxHashSet<u32> = FxHashSet::default();
         let mut filters = Vec::new();
+        let mut keys: Vec<u64> = Vec::new();
         let context = EnumContext::new(q, &self.profile, &self.scheme, self.scheme.depth_bound());
-        'reps: for (pass, rep) in self.reps.iter().enumerate() {
-            stats.repetitions_probed += 1;
+        for (pass, rep) in self.reps.iter().enumerate() {
             filters.clear();
             enumerate_filters_with(
                 &context,
@@ -389,38 +425,127 @@ impl<S: ThresholdScheme> LsfIndex<S> {
                 self.node_budget,
                 &mut filters,
             );
-            stats.filters += filters.len();
-            for (step, key) in filters.iter().enumerate() {
-                if let Some(bucket) = rep.buckets.get(&rep.interner.hash(key.raw())) {
-                    stats.candidates += bucket.len();
-                    for &id in bucket {
-                        if seen.insert(id) {
-                            stats.verified += 1;
-                            if !visit(pass as u32, step as u32, id) {
-                                break 'reps;
-                            }
-                        }
-                    }
-                }
+            keys.clear();
+            keys.extend(filters.iter().map(|k| rep.interner.hash(k.raw())));
+            if !probe_pass_keys(rep, pass as u32, &keys, &mut seen, &mut stats, &mut visit) {
+                break;
             }
         }
         stats
+    }
+
+    /// Stage 1 of the pipeline: enumerates `F(q)` under every repetition's
+    /// hash stack — thresholds and masses hoisted once into an
+    /// [`EnumContext`] — and interns the path keys into the per-repetition
+    /// 64-bit bucket keys, packaged as a reusable [`QueryPlan`].
+    ///
+    /// The plan is valid for this index, for any [`LsfIndex::shard_of_ids`]
+    /// dataset shard of it (shards keep the parent's hash stacks and
+    /// interners, so the plan is shard-invariant — the fact the sharding
+    /// layer's enumerate-once broadcast rests on), and, via
+    /// [`QueryPlan::slice_passes`], for any [`LsfIndex::shard_of_passes`]
+    /// pass-slice shard.
+    ///
+    /// Unlike the fused probe, planning always enumerates **all**
+    /// repetitions up front (no early exit) — that is the price of
+    /// reusability, repaid as soon as a second consumer probes the plan.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use skewsearch_core::{CorrelatedScheme, IndexOptions, LsfIndex, SetSimilaritySearch};
+    /// use skewsearch_datagen::{BernoulliProfile, Dataset};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(2);
+    /// let profile = BernoulliProfile::two_block(400, 0.2, 0.02).unwrap();
+    /// let data = Dataset::generate(&profile, 120, &mut rng);
+    /// let scheme = CorrelatedScheme::new(0.8, data.n(), &profile);
+    /// let index = LsfIndex::build(
+    ///     data.vectors().to_vec(),
+    ///     profile.clone(),
+    ///     scheme,
+    ///     0.8 / 1.3,
+    ///     IndexOptions::default(),
+    ///     &mut rng,
+    /// );
+    /// let plan = index.plan_query(data.vector(0));
+    /// // One key list per repetition, probing reproduces the fused search.
+    /// assert_eq!(plan.pass_count(), index.repetition_count());
+    /// assert_eq!(index.probe_plan(&plan), index.search_all(data.vector(0)));
+    /// ```
+    pub fn plan_query(&self, q: &SparseVec) -> QueryPlan {
+        let mut filters = Vec::new();
+        let context = EnumContext::new(q, &self.profile, &self.scheme, self.scheme.depth_bound());
+        let passes = self
+            .reps
+            .iter()
+            .map(|rep| {
+                filters.clear();
+                enumerate_filters_with(
+                    &context,
+                    &self.scheme,
+                    &rep.hashers,
+                    self.node_budget,
+                    &mut filters,
+                );
+                filters.iter().map(|k| rep.interner.hash(k.raw())).collect()
+            })
+            .collect();
+        QueryPlan::from_passes(q.clone(), passes)
+    }
+
+    /// [`LsfIndex::probe_tagged`] driven by a precomputed [`QueryPlan`]
+    /// instead of live enumeration: only the inverted index is touched for a
+    /// planned plan. Unplanned plans fall back to the fused probe.
+    ///
+    /// Byte-identical visit sequence to the fused probe of `plan.query()` —
+    /// both paths share one bucket-walk loop.
+    ///
+    /// # Panics
+    /// Panics if a planned plan's pass count differs from this index's
+    /// repetition count (a plan from a foreign index — probing it silently
+    /// would corrupt answers).
+    pub fn probe_plan_tagged(
+        &self,
+        plan: &QueryPlan,
+        mut visit: impl FnMut(u32, u32, u32) -> bool,
+    ) -> QueryStats {
+        let Some(passes) = plan.passes() else {
+            return self.probe_tagged(plan.query(), visit);
+        };
+        assert_eq!(
+            passes.len(),
+            self.reps.len(),
+            "QueryPlan pass count does not match this index's repetitions"
+        );
+        let mut stats = QueryStats::default();
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        for ((pass, rep), keys) in self.reps.iter().enumerate().zip(passes) {
+            if !probe_pass_keys(rep, pass as u32, keys, &mut seen, &mut stats, &mut visit) {
+                break;
+            }
+        }
+        stats
+    }
+
+    /// Verifies candidate `id` against `q`: its [`Match`] iff the similarity
+    /// clears the index's threshold. Stage 3's single verification site,
+    /// shared by every search/probe entry point.
+    fn verified(&self, q: &SparseVec, id: u32) -> Option<Match> {
+        let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
+        (sim >= self.verify_threshold).then_some(Match {
+            id: id as usize,
+            similarity: sim,
+        })
     }
 
     /// [`SetSimilaritySearch::search`] with statistics.
     pub fn search_with_stats(&self, q: &SparseVec) -> (Option<Match>, QueryStats) {
         let mut hit = None;
         let stats = self.probe(q, |id| {
-            let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
-            if sim >= self.verify_threshold {
-                hit = Some(Match {
-                    id: id as usize,
-                    similarity: sim,
-                });
-                false
-            } else {
-                true
-            }
+            hit = self.verified(q, id);
+            hit.is_none()
         });
         (hit, stats)
     }
@@ -594,16 +719,8 @@ impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
     fn search_all_tagged(&self, q: &SparseVec) -> Vec<crate::traits::TaggedMatch> {
         let mut out = Vec::new();
         self.probe_tagged(q, |pass, step, id| {
-            let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
-            if sim >= self.verify_threshold {
-                out.push(crate::traits::TaggedMatch {
-                    pass,
-                    step,
-                    hit: Match {
-                        id: id as usize,
-                        similarity: sim,
-                    },
-                });
+            if let Some(hit) = self.verified(q, id) {
+                out.push(crate::traits::TaggedMatch { pass, step, hit });
             }
             true
         });
@@ -615,20 +732,46 @@ impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
     fn search_first_tagged(&self, q: &SparseVec) -> Option<crate::traits::TaggedMatch> {
         let mut first = None;
         self.probe_tagged(q, |pass, step, id| {
-            let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
-            if sim >= self.verify_threshold {
-                first = Some(crate::traits::TaggedMatch {
-                    pass,
-                    step,
-                    hit: Match {
-                        id: id as usize,
-                        similarity: sim,
-                    },
-                });
-                false
-            } else {
-                true
+            first = self
+                .verified(q, id)
+                .map(|hit| crate::traits::TaggedMatch { pass, step, hit });
+            first.is_none()
+        });
+        first
+    }
+
+    /// Stage 1: full enumeration + interning, one key list per repetition —
+    /// see [`LsfIndex::plan_query`].
+    fn plan_query(&self, q: &SparseVec) -> QueryPlan {
+        LsfIndex::plan_query(self, q)
+    }
+
+    /// Stages 2+3 from a precomputed plan: bucket lookups via
+    /// [`LsfIndex::probe_plan_tagged`], verification via the shared verify
+    /// site — byte-identical to `search_all_tagged(plan.query())`.
+    fn probe_plan_tagged(&self, plan: &QueryPlan) -> Vec<crate::traits::TaggedMatch> {
+        let q = plan.query();
+        let mut out = Vec::new();
+        LsfIndex::probe_plan_tagged(self, plan, |pass, step, id| {
+            if let Some(hit) = self.verified(q, id) {
+                out.push(crate::traits::TaggedMatch { pass, step, hit });
             }
+            true
+        });
+        out
+    }
+
+    /// Early-exiting planned probe: stops at the first verified hit, exactly
+    /// like `search_first_tagged(plan.query())` — but without enumeration
+    /// when the plan is planned.
+    fn probe_plan_first_tagged(&self, plan: &QueryPlan) -> Option<crate::traits::TaggedMatch> {
+        let q = plan.query();
+        let mut first = None;
+        LsfIndex::probe_plan_tagged(self, plan, |pass, step, id| {
+            first = self
+                .verified(q, id)
+                .map(|hit| crate::traits::TaggedMatch { pass, step, hit });
+            first.is_none()
         });
         first
     }
@@ -845,6 +988,90 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn planned_probe_is_byte_identical_to_fused_search() {
+        let (ds, profile, mut rng) = small_setup();
+        let alpha = 0.8;
+        let index = build_correlated(&ds, &profile, alpha, 7, &mut rng);
+        for t in 0..15 {
+            let q = correlated_query(ds.vector(t * 13 % ds.n()), &profile, alpha, &mut rng);
+            let plan = index.plan_query(&q);
+            assert_eq!(plan.pass_count(), index.repetition_count());
+            assert_eq!(
+                SetSimilaritySearch::probe_plan_tagged(&index, &plan),
+                index.search_all_tagged(&q),
+                "query {t}"
+            );
+            assert_eq!(index.probe_plan(&plan), index.search_all(&q));
+            assert_eq!(
+                index.probe_plan_first_tagged(&plan),
+                index.search_first_tagged(&q)
+            );
+        }
+        // Degenerate: the empty query plans to empty key lists and finds
+        // nothing, exactly like the fused path.
+        let plan = index.plan_query(&SparseVec::empty());
+        assert_eq!(plan.pass_count(), index.repetition_count());
+        assert_eq!(plan.key_count(), 0);
+        assert!(index.probe_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn unplanned_plan_falls_back_to_fused_probe() {
+        let (ds, profile, mut rng) = small_setup();
+        let index = build_correlated(&ds, &profile, 0.8, 4, &mut rng);
+        let q = correlated_query(ds.vector(5), &profile, 0.8, &mut rng);
+        let plan = crate::plan::QueryPlan::unplanned(q.clone());
+        assert_eq!(
+            SetSimilaritySearch::probe_plan_tagged(&index, &plan),
+            index.search_all_tagged(&q)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pass count")]
+    fn foreign_plan_pass_count_mismatch_panics() {
+        let (ds, profile, mut rng) = small_setup();
+        let index = build_correlated(&ds, &profile, 0.8, 4, &mut rng);
+        let plan = crate::plan::QueryPlan::from_passes(SparseVec::empty(), vec![vec![]; 3]);
+        let _ = SetSimilaritySearch::probe_plan_tagged(&index, &plan);
+    }
+
+    #[test]
+    fn sliced_plan_drives_pass_slice_shards() {
+        // A pass-slice shard's probe of plan.slice_passes(range) equals its
+        // own fused search — the cross-machine ByRepetition fan-out shape.
+        let (ds, profile, mut rng) = small_setup();
+        let index = build_correlated(&ds, &profile, 0.8, 6, &mut rng);
+        let q = correlated_query(ds.vector(9), &profile, 0.8, &mut rng);
+        let plan = index.plan_query(&q);
+        for range in [0..2, 2..6, 0..6, 3..3] {
+            let shard = index.shard_of_passes(range.clone());
+            let sliced = plan.slice_passes(range.clone());
+            assert_eq!(
+                SetSimilaritySearch::probe_plan_tagged(&shard, &sliced),
+                shard.search_all_tagged(&q),
+                "range {range:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_shards_share_the_parents_plan() {
+        // shard_of_ids keeps hash stacks and interners, so plan_query is
+        // shard-invariant — the contract the broadcast layer rests on.
+        let (ds, profile, mut rng) = small_setup();
+        let index = build_correlated(&ds, &profile, 0.8, 5, &mut rng);
+        let q = correlated_query(ds.vector(2), &profile, 0.8, &mut rng);
+        let plan = index.plan_query(&q);
+        let shard = index.shard_of_ids(&[0, 3, 5, 17, 44]);
+        assert_eq!(shard.plan_query(&q), plan);
+        assert_eq!(
+            SetSimilaritySearch::probe_plan_tagged(&shard, &plan),
+            shard.search_all_tagged(&q)
+        );
     }
 
     #[test]

@@ -31,10 +31,14 @@
 //! All structures implement [`SetSimilaritySearch`], including its batch
 //! interface: [`SetSimilaritySearch::search_batch`] answers a query slice on
 //! a work-stealing thread pool ([`batch`]) with results identical to the
-//! sequential loop. Any of them can additionally be partitioned across
-//! shards by [`ShardedIndex`] ([`shard`]) — by repetition slice or by
-//! hash-partitioned dataset — with answers byte-identical to the unsharded
-//! structure.
+//! sequential loop. Queries run an explicit enumerate→probe→verify pipeline:
+//! [`SetSimilaritySearch::plan_query`] derives a reusable [`QueryPlan`]
+//! ([`plan`]) that [`SetSimilaritySearch::probe_plan`] consumes with bucket
+//! lookups only — byte-identical to the fused search. Any structure can
+//! additionally be partitioned across shards by [`ShardedIndex`] ([`shard`])
+//! — by repetition slice or by hash-partitioned dataset, where one plan per
+//! query broadcasts to all shards — with answers byte-identical to the
+//! unsharded structure.
 //!
 //! ```
 //! use rand::{rngs::StdRng, SeedableRng};
@@ -63,18 +67,23 @@ pub mod batch;
 pub mod correlated;
 pub mod engine;
 pub mod index;
+pub mod plan;
 pub mod scheme;
 pub mod shard;
 pub mod split;
 pub mod traits;
 
 pub use adversarial::{AdversarialIndex, AdversarialParams};
-pub use batch::{batch_map, batch_map_chunked, resolve_threads};
+pub use batch::{
+    batch_map, batch_map_chunked, batch_map_distinct, distinct_slots, resolve_threads,
+};
 pub use correlated::{CorrelatedIndex, CorrelatedParams, ModelDiagnostics};
 pub use engine::{
-    enumerate_filters, enumerate_filters_with, EnumContext, EnumStats, DEFAULT_NODE_BUDGET,
+    enumerate_filters, enumerate_filters_with, enumeration_count, EnumContext, EnumStats,
+    DEFAULT_NODE_BUDGET,
 };
 pub use index::{BuildStats, IndexOptions, LsfIndex, QueryStats, Repetitions};
+pub use plan::QueryPlan;
 pub use scheme::{AdversarialScheme, ChosenPathScheme, CorrelatedScheme, ThresholdScheme};
 pub use shard::{set_partition_key, ShardStrategy, Shardable, ShardedIndex};
 pub use split::{

@@ -44,18 +44,38 @@
 //! chunk of 1, so a handful of expensive shard probes actually spread across
 //! workers).
 //!
+//! ## The plan broadcast (enumerate once, probe everywhere)
+//!
+//! `ByDataset` shards share the parent's hash stacks and key interners, so a
+//! query's filter set `F(q)` — and hence its [`QueryPlan`] — is
+//! **shard-invariant**. The wrapper therefore runs the pipeline's stage 1
+//! exactly once per query ([`SetSimilaritySearch::plan_query`] on one shard)
+//! and broadcasts the resulting plan to every shard's
+//! [`SetSimilaritySearch::probe_plan_tagged`], which only touches the
+//! shard's inverted index. This removes the former `N×` enumeration tax the
+//! fused path paid (each shard re-deriving `F(q)`), and, because a plan is
+//! plain owned data, it is exactly what a cross-machine fan-out would
+//! serialize and ship. `ByRepetition` shards own *disjoint* pass slices, so
+//! each shard plans its own slice — total enumeration is the unsharded `1×`
+//! either way. [`ShardedIndex::with_plan_broadcast`] can disable the
+//! broadcast (fused per-shard probing) for measurement; answers are
+//! byte-identical in both modes, and `tests/enumeration_count.rs` pins the
+//! exactly-one-enumeration claim with the counting hook
+//! [`crate::engine::enumeration_count`].
+//!
 //! ## Trade-offs (documented, not hidden)
 //!
 //! `ByRepetition` duplicates the dataset into every shard (memory `N·|S|`)
 //! but enumerates query filters once per shard slice — total probe work
 //! matches the unsharded index. `ByDataset` partitions the vectors (memory
-//! `≈ |S|` plus per-shard hash stacks) but each shard re-enumerates the
-//! query's filters, costing `N×` enumeration per query; shard-local filter
-//! caching is a ROADMAP follow-up. Both keep per-shard structures small
+//! `≈ |S|` plus per-shard hash stacks) and, with the plan broadcast,
+//! enumerates once per query like the unsharded index — only bucket probing
+//! and verification run per shard. Both keep per-shard structures small
 //! enough to build, rebuild, and eventually place on separate machines.
 
 use crate::batch::{batch_map, batch_map_chunked};
 use crate::index::LsfIndex;
+use crate::plan::QueryPlan;
 use crate::scheme::ThresholdScheme;
 use crate::traits::{Match, SetSimilaritySearch, TaggedMatch};
 use skewsearch_hashing::{mix, FxHashSet};
@@ -79,7 +99,12 @@ pub enum ShardStrategy {
 /// Implementations must uphold the tag contract of
 /// [`SetSimilaritySearch::search_all_tagged`] with *genuine* probe
 /// coordinates — the byte-identical merge guarantee of [`ShardedIndex`]
-/// holds only then.
+/// holds only then — and the **plan-invariance contract**: dataset shards
+/// keep the parent's probe-plan structure, i.e.
+/// `self.shard_of_ids(ids).plan_query(q) == self.plan_query(q)` for every
+/// query. The wrapper's enumerate-once broadcast plans on one shard and
+/// probes the same [`QueryPlan`] on all of them; a shard that redrew hash
+/// stacks would silently probe the wrong buckets.
 pub trait Shardable: SetSimilaritySearch + Sized {
     /// Number of probe passes (repetitions / bands) this index runs.
     fn passes(&self) -> usize;
@@ -197,6 +222,11 @@ pub struct ShardedIndex<S> {
     fanout_threads: usize,
     /// Workers for `search_batch` across queries (`0` = one per core).
     query_threads: usize,
+    /// Route probes through the query-plan pipeline (stage 1 once per query,
+    /// stage 2 per shard) instead of fused per-shard enumerate-and-probe.
+    /// Answers are byte-identical either way; this is the `N×`→`1×`
+    /// enumeration win under `ByDataset`.
+    plan_broadcast: bool,
 }
 
 impl<S: Shardable + Send + Sync> ShardedIndex<S> {
@@ -244,6 +274,7 @@ impl<S: Shardable + Send + Sync> ShardedIndex<S> {
             len: index.len(),
             fanout_threads: 0,
             query_threads: 0,
+            plan_broadcast: true,
         }
     }
 
@@ -263,6 +294,23 @@ impl<S: Shardable + Send + Sync> ShardedIndex<S> {
         self
     }
 
+    /// Enables or disables the query-plan broadcast (default: enabled).
+    ///
+    /// Enabled, every probe runs the three-stage pipeline: stage 1
+    /// ([`SetSimilaritySearch::plan_query`]) once per query — on one shard
+    /// under `ByDataset` (plans are shard-invariant there), per pass-slice
+    /// under `ByRepetition` — and stage 2
+    /// ([`SetSimilaritySearch::probe_plan_tagged`]) per shard. Disabled,
+    /// shards run their fused enumerate-and-probe path, re-paying the
+    /// enumeration once per `ByDataset` shard (the pre-pipeline behaviour,
+    /// kept for measurement — `benches/sharded_query.rs` reports both).
+    ///
+    /// Purely a cost knob: answers are **byte-identical** in both modes.
+    pub fn with_plan_broadcast(mut self, enabled: bool) -> Self {
+        self.plan_broadcast = enabled;
+        self
+    }
+
     /// The decomposition strategy.
     pub fn strategy(&self) -> ShardStrategy {
         self.strategy
@@ -279,15 +327,42 @@ impl<S: Shardable + Send + Sync> ShardedIndex<S> {
         self.shards.iter().map(|s| s.index.len()).collect()
     }
 
+    /// Stage 1 for a `ByDataset` broadcast: plan the query once, on the
+    /// first shard. Plans are shard-invariant under dataset partitioning
+    /// (the [`Shardable`] plan-invariance contract: every shard keeps the
+    /// parent's hash stacks and interners), so any shard — even one owning
+    /// zero vectors — derives the exact plan the parent index would.
+    fn broadcast_plan(&self, q: &SparseVec) -> QueryPlan {
+        self.shards[0].index.plan_query(q)
+    }
+
     /// Fans the query across shards (`threads` workers, claim chunk 1, so
     /// each shard probe can take its own worker), globalizes tags and ids,
     /// and merges back into the unsharded discovery order: sort by
     /// `(pass, step, id)`, then keep only the first occurrence of each id.
+    ///
+    /// With the plan broadcast (default), the fan-out runs the pipeline:
+    /// under `ByDataset` one [`QueryPlan`] is derived up front and every
+    /// shard probe consumes `&plan` — exactly one `F(q)` enumeration per
+    /// query, no matter the shard count; under `ByRepetition` each shard
+    /// plans its own (disjoint) pass slice, which is the same `1×` total.
     fn merged_tagged(&self, q: &SparseVec, threads: usize) -> Vec<TaggedMatch> {
-        let per_shard: Vec<Vec<TaggedMatch>> =
-            batch_map_chunked(&self.shards, threads, 1, |shard| {
+        let per_shard: Vec<Vec<TaggedMatch>> = match (self.plan_broadcast, self.strategy) {
+            (true, ShardStrategy::ByDataset) => {
+                let plan = self.broadcast_plan(q);
+                batch_map_chunked(&self.shards, threads, 1, |shard| {
+                    shard.index.probe_plan_tagged(&plan)
+                })
+            }
+            (true, ShardStrategy::ByRepetition) => {
+                batch_map_chunked(&self.shards, threads, 1, |shard| {
+                    shard.index.probe_plan_tagged(&shard.index.plan_query(q))
+                })
+            }
+            (false, _) => batch_map_chunked(&self.shards, threads, 1, |shard| {
                 shard.index.search_all_tagged(q)
-            });
+            }),
+        };
         let mut all: Vec<TaggedMatch> = Vec::with_capacity(per_shard.iter().map(Vec::len).sum());
         for (shard, tagged) in self.shards.iter().zip(per_shard) {
             all.extend(tagged.into_iter().map(|t| shard.globalize(t)));
@@ -299,15 +374,28 @@ impl<S: Shardable + Send + Sync> ShardedIndex<S> {
     }
 
     /// `search`'s merge: every shard early-exits at its own first verified
-    /// hit ([`SetSimilaritySearch::search_first_tagged`]); the shard minima
-    /// are globalized and the `(pass, step, id)`-minimum among them is the
-    /// global first discovery — no shard ever materializes its full match
-    /// list.
+    /// hit; the shard minima are globalized and the `(pass, step, id)`-
+    /// minimum among them is the global first discovery — no shard ever
+    /// materializes its full match list.
+    ///
+    /// Under the `ByDataset` broadcast the shards early-exit their *probes*
+    /// against one shared plan (stage 1 runs in full once — cheaper than
+    /// `N` lazy re-enumerations from the first repetition on).
+    /// `ByRepetition` keeps the fused lazy path: its shards own disjoint
+    /// pass slices, so planning a slice in full would do strictly more
+    /// enumeration than the early-exiting probe needs.
     fn merged_first(&self, q: &SparseVec, threads: usize) -> Option<TaggedMatch> {
         let per_shard: Vec<Option<TaggedMatch>> =
-            batch_map_chunked(&self.shards, threads, 1, |shard| {
-                shard.index.search_first_tagged(q)
-            });
+            if self.plan_broadcast && self.strategy == ShardStrategy::ByDataset {
+                let plan = self.broadcast_plan(q);
+                batch_map_chunked(&self.shards, threads, 1, |shard| {
+                    shard.index.probe_plan_first_tagged(&plan)
+                })
+            } else {
+                batch_map_chunked(&self.shards, threads, 1, |shard| {
+                    shard.index.search_first_tagged(q)
+                })
+            };
         self.shards
             .iter()
             .zip(per_shard)
@@ -473,6 +561,33 @@ mod tests {
             assert_eq!(sharded.search_batch(&queries), expect, "threads={threads}");
             for q in queries.iter().take(5) {
                 assert_eq!(sharded.search_all(q), reference.search_all(q));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_broadcast_modes_are_byte_identical() {
+        let (index, queries) = fixture(6);
+        for strategy in [ShardStrategy::ByRepetition, ShardStrategy::ByDataset] {
+            for shards in [1, 3, 8] {
+                let planned = ShardedIndex::build(&index, strategy, shards);
+                let fused =
+                    ShardedIndex::build(&index, strategy, shards).with_plan_broadcast(false);
+                for q in &queries {
+                    let reference = index.search_all_tagged(q);
+                    assert_eq!(
+                        planned.search_all_tagged(q),
+                        reference,
+                        "{strategy:?} shards={shards} planned"
+                    );
+                    assert_eq!(
+                        fused.search_all_tagged(q),
+                        reference,
+                        "{strategy:?} shards={shards} fused"
+                    );
+                    assert_eq!(planned.search(q), fused.search(q));
+                    assert_eq!(planned.search_first_tagged(q), index.search_first_tagged(q));
+                }
             }
         }
     }

@@ -1,6 +1,7 @@
 //! The public search interface shared by the paper's structure and all
 //! baselines.
 
+use crate::plan::QueryPlan;
 use skewsearch_sets::SparseVec;
 
 /// A verified search result.
@@ -128,6 +129,84 @@ pub trait SetSimilaritySearch {
     /// `search` without running every shard to completion.
     fn search_first_tagged(&self, q: &SparseVec) -> Option<TaggedMatch> {
         self.search_all_tagged(q).into_iter().next()
+    }
+
+    /// Stage 1 of the enumerate→probe→verify pipeline: derives a reusable
+    /// [`QueryPlan`] for `q` — per probe pass (repetition / band), the
+    /// interned bucket keys the probe stage will look up, in enumeration
+    /// order.
+    ///
+    /// **Contract**: probing the plan reproduces the fused search
+    /// byte-identically,
+    /// `self.probe_plan_tagged(&self.plan_query(q)) == self.search_all_tagged(q)`
+    /// — for every implementation (`tests/plan_equivalence.rs` pins all
+    /// index types). Planning pays the full enumeration up front (no
+    /// early-exit laziness), which is what makes the plan broadcastable:
+    /// the sharding layer enumerates once and ships the same plan to every
+    /// dataset shard instead of re-enumerating per shard.
+    ///
+    /// The default implementation returns an *unplanned* plan (query only);
+    /// the default probe stages then fall back to the fused path, so
+    /// structures without a bucketed probe (brute force, prefix filtering)
+    /// satisfy the contract with no override. Index structures override this
+    /// together with [`SetSimilaritySearch::probe_plan_tagged`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use skewsearch_core::{CorrelatedIndex, CorrelatedParams, SetSimilaritySearch};
+    /// use skewsearch_datagen::{correlated_query, BernoulliProfile, Dataset};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(11);
+    /// let profile = BernoulliProfile::two_block(600, 0.2, 0.02).unwrap();
+    /// let data = Dataset::generate(&profile, 150, &mut rng);
+    /// let index = CorrelatedIndex::build(
+    ///     &data,
+    ///     &profile,
+    ///     CorrelatedParams::new(0.8).unwrap(),
+    ///     &mut rng,
+    /// );
+    /// let q = correlated_query(data.vector(5), &profile, 0.8, &mut rng);
+    /// let plan = index.plan_query(&q);
+    /// // One enumeration, any number of probes — always the fused answer.
+    /// assert_eq!(index.probe_plan(&plan), index.search_all(&q));
+    /// assert_eq!(index.probe_plan_tagged(&plan), index.search_all_tagged(&q));
+    /// ```
+    fn plan_query(&self, q: &SparseVec) -> QueryPlan {
+        QueryPlan::unplanned(q.clone())
+    }
+
+    /// Stages 2+3 of the pipeline: probes the inverted index with a
+    /// precomputed [`QueryPlan`] and verifies the surfaced candidates —
+    /// exactly `search_all(plan.query())`, without re-enumerating the
+    /// query's filters when the plan is planned.
+    ///
+    /// Provided in terms of [`SetSimilaritySearch::probe_plan_tagged`]
+    /// (the tag projection), so implementations override only the tagged
+    /// variant.
+    fn probe_plan(&self, plan: &QueryPlan) -> Vec<Match> {
+        self.probe_plan_tagged(plan)
+            .into_iter()
+            .map(|t| t.hit)
+            .collect()
+    }
+
+    /// The tagged probe stage: consumes a [`QueryPlan`] and returns exactly
+    /// `search_all_tagged(plan.query())`. For a planned plan, overriding
+    /// implementations touch only the inverted index (bucket lookups +
+    /// verification) — never the enumeration engine; for an unplanned plan
+    /// they fall back to the fused path. The default implementation is that
+    /// fallback.
+    fn probe_plan_tagged(&self, plan: &QueryPlan) -> Vec<TaggedMatch> {
+        self.search_all_tagged(plan.query())
+    }
+
+    /// The early-exiting probe stage: exactly
+    /// `search_first_tagged(plan.query())`, stopping at the first verified
+    /// hit without re-enumerating when the plan is planned.
+    fn probe_plan_first_tagged(&self, plan: &QueryPlan) -> Option<TaggedMatch> {
+        self.probe_plan_tagged(plan).into_iter().next()
     }
 
     /// Answers a batch of queries: element `i` of the result is exactly
@@ -261,6 +340,25 @@ mod tests {
             assert_eq!(&t.hit, m);
             assert_eq!(t.pass, 0);
             assert_eq!(t.step, i as u32);
+        }
+    }
+
+    #[test]
+    fn default_plan_hooks_fall_back_to_fused_search() {
+        let s = TwoVec {
+            data: vec![
+                SparseVec::from_unsorted(vec![1, 2, 3, 4]),
+                SparseVec::from_unsorted(vec![1, 2, 3]),
+            ],
+            t: 0.4,
+        };
+        for q in [SparseVec::from_unsorted(vec![1, 2, 3]), SparseVec::empty()] {
+            let plan = s.plan_query(&q);
+            assert!(!plan.is_planned(), "default plan is unplanned");
+            assert_eq!(plan.query(), &q);
+            assert_eq!(s.probe_plan(&plan), s.search_all(&q));
+            assert_eq!(s.probe_plan_tagged(&plan), s.search_all_tagged(&q));
+            assert_eq!(s.probe_plan_first_tagged(&plan), s.search_first_tagged(&q));
         }
     }
 

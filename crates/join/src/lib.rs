@@ -50,21 +50,38 @@ fn collect_pairs(per_query: Vec<Vec<skewsearch_core::Match>>) -> Vec<JoinPair> {
 /// side in parallel with results identical to the sequential loop; pairs are
 /// emitted in `r` order.
 ///
+/// **Each distinct probe-side query is planned and answered exactly once.**
+/// Duplicate sets in `r` (frequent in real joins, and co-located by
+/// `ByDataset`'s content-hash partitioning) are grouped up front
+/// ([`skewsearch_core::distinct_slots`]); the index sees only the distinct
+/// queries, and their answers fan back out to every occurrence. Identical
+/// output — every structure in this workspace answers as a pure function of
+/// the query — with enumeration/planning work proportional to *distinct*
+/// queries (pinned by `tests/enumeration_count.rs`).
+///
 /// This is also the **sharded** join: a
 /// [`ShardedIndex`](skewsearch_core::ShardedIndex) implements the trait with
 /// answers byte-identical to the index it partitions, so passing one here
 /// yields exactly the unsharded join's pairs while the probe side
-/// parallelizes across queries and each query fans out across shards
+/// parallelizes across queries and each query's single
+/// [`QueryPlan`](skewsearch_core::QueryPlan) broadcasts across shards
 /// (pinned by the `sharded_join_matches_unsharded_exactly` test).
 pub fn similarity_join<I: SetSimilaritySearch>(r: &[SparseVec], index: &I) -> Vec<JoinPair> {
-    collect_pairs(index.search_batch(r))
+    let (representatives, slot_of) = skewsearch_core::distinct_slots(r);
+    if representatives.len() == r.len() {
+        return collect_pairs(index.search_batch(r));
+    }
+    let distinct: Vec<SparseVec> = representatives.iter().map(|&i| r[i].clone()).collect();
+    let answers = index.search_batch(&distinct);
+    collect_pairs(slot_of.into_iter().map(|s| answers[s].clone()).collect())
 }
 
 /// [`similarity_join`] with an explicit worker count for the probe side
 /// (`0` = one per available core), independent of the index's own batch
-/// configuration. Work is distributed by chunked work stealing
-/// ([`skewsearch_core::batch_map`]); output is identical to the sequential
-/// join for every thread count.
+/// configuration. Work is distributed by chunked work stealing over the
+/// distinct queries ([`skewsearch_core::batch_map_distinct`] — duplicates
+/// share one answer, as in [`similarity_join`]); output is identical to the
+/// sequential join for every thread count.
 ///
 /// With a [`ShardedIndex`](skewsearch_core::ShardedIndex), prefer
 /// [`similarity_join`]: its `search_batch` pins the per-query shard fan-out
@@ -78,7 +95,7 @@ pub fn similarity_join_parallel<I: SetSimilaritySearch + Sync>(
     index: &I,
     threads: usize,
 ) -> Vec<JoinPair> {
-    collect_pairs(skewsearch_core::batch_map(r, threads, |q| {
+    collect_pairs(skewsearch_core::batch_map_distinct(r, threads, |q| {
         index.search_all(q)
     }))
 }
@@ -248,6 +265,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn duplicate_probe_queries_join_identically_to_naive_loop() {
+        // The distinct-query dedup must be invisible: a probe side full of
+        // repeated sets joins exactly like the per-occurrence loop, pairs in
+        // r order with r_id pointing at each occurrence.
+        let r = vec![
+            v(&[1, 2]),
+            v(&[4, 5, 6]),
+            v(&[1, 2]),
+            v(&[1, 2]),
+            v(&[8]),
+            v(&[4, 5, 6]),
+        ];
+        let s = vec![v(&[1, 2]), v(&[4, 5, 6, 7]), v(&[8]), v(&[1, 2, 3])];
+        let index = BruteForce::new(s.clone(), 0.6);
+        let naive: Vec<JoinPair> = collect_pairs(r.iter().map(|q| index.search_all(q)).collect());
+        assert_eq!(similarity_join(&r, &index), naive);
+        for threads in [1, 4] {
+            assert_eq!(similarity_join_parallel(&r, &index, threads), naive);
+        }
+        assert!(
+            naive.iter().filter(|p| p.r_id == 2 || p.r_id == 3).count() >= 2,
+            "duplicates must each contribute their own pairs"
+        );
     }
 
     #[test]

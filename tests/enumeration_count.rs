@@ -1,0 +1,130 @@
+//! The acceptance criterion of the plan pipeline, asserted with the counting
+//! hook `skewsearch::core::enumeration_count`: a `ByDataset`-sharded index
+//! performs **exactly one** `F(q)` enumeration per query — `R` calls into the
+//! enumeration engine, one per repetition — regardless of shard count, while
+//! the legacy fused mode (`with_plan_broadcast(false)`) pays `shards × R`.
+//! The join layer's distinct-query dedup is counted the same way.
+//!
+//! The counter is process-global, so everything here lives in **one** test
+//! function: integration tests in one binary run on concurrent threads, and
+//! a second enumerating test would corrupt the measured deltas. (Other test
+//! binaries are separate processes and cannot interfere.)
+
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch::core::{
+    enumeration_count, CorrelatedIndex, CorrelatedParams, IndexOptions, Repetitions,
+    SetSimilaritySearch, ShardStrategy, ShardedIndex,
+};
+use skewsearch::datagen::{correlated_query, BernoulliProfile, Dataset};
+use skewsearch::join::{similarity_join, JoinPair};
+use skewsearch::sets::SparseVec;
+
+const ALPHA: f64 = 0.7;
+const REPS: usize = 6;
+
+/// Runs `f` and returns how many enumeration-engine calls it made.
+fn enumerations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = enumeration_count();
+    let out = f();
+    (out, enumeration_count() - before)
+}
+
+#[test]
+fn by_dataset_enumerates_each_query_exactly_once_at_any_shard_count() {
+    let profile = BernoulliProfile::blocks(&[(60, 0.2), (900, 0.01)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let ds = Dataset::generate(&profile, 200, &mut rng);
+    let params = CorrelatedParams::new(ALPHA)
+        .unwrap()
+        .with_options(IndexOptions {
+            repetitions: Repetitions::Fixed(REPS),
+            ..IndexOptions::default()
+        });
+    let index = CorrelatedIndex::build(&ds, &profile, params, &mut rng);
+    let queries: Vec<SparseVec> = (0..8)
+        .map(|t| correlated_query(ds.vector(t * 17 % ds.n()), &profile, ALPHA, &mut rng))
+        .chain(std::iter::once(SparseVec::empty()))
+        .collect();
+    // Reference answers, computed outside every measured region.
+    let expected: Vec<_> = queries.iter().map(|q| index.search_all(q)).collect();
+
+    // Baseline: the unsharded fused search_all enumerates once per
+    // repetition — R calls — per query.
+    for (q, expect) in queries.iter().zip(&expected) {
+        let (got, delta) = enumerations_during(|| index.search_all(q));
+        assert_eq!(&got, expect);
+        assert_eq!(delta, REPS as u64, "unsharded baseline");
+    }
+
+    for shards in [1usize, 2, 4, 8] {
+        // The tentpole claim: ByDataset plans once and broadcasts — the
+        // enumeration count per query does not depend on the shard count.
+        let sharded = ShardedIndex::build(&index, ShardStrategy::ByDataset, shards);
+        for (q, expect) in queries.iter().zip(&expected) {
+            let (got, delta) = enumerations_during(|| sharded.search_all(q));
+            assert_eq!(&got, expect, "ByDataset shards={shards}");
+            assert_eq!(
+                delta, REPS as u64,
+                "exactly one F(q) enumeration per query, shards={shards}"
+            );
+        }
+        // `search` plans once too (and probes early-exit per shard).
+        let (_, delta) = enumerations_during(|| sharded.search(&queries[0]));
+        assert_eq!(delta, REPS as u64, "search plans once, shards={shards}");
+
+        // ByRepetition: disjoint pass slices sum to R — also 1× total.
+        let by_rep = ShardedIndex::build(&index, ShardStrategy::ByRepetition, shards);
+        for (q, expect) in queries.iter().zip(&expected).take(3) {
+            let (got, delta) = enumerations_during(|| by_rep.search_all(q));
+            assert_eq!(&got, expect, "ByRepetition shards={shards}");
+            assert_eq!(delta, REPS as u64, "ByRepetition shards={shards}");
+        }
+
+        // The legacy fused mode re-pays the enumeration per dataset shard —
+        // the documented N× tax the pipeline removes (and the proof the
+        // counting hook actually detects it).
+        let legacy = ShardedIndex::build(&index, ShardStrategy::ByDataset, shards)
+            .with_plan_broadcast(false);
+        for (q, expect) in queries.iter().zip(&expected).take(2) {
+            let (got, delta) = enumerations_during(|| legacy.search_all(q));
+            assert_eq!(&got, expect, "legacy shards={shards}");
+            assert_eq!(
+                delta,
+                (shards * REPS) as u64,
+                "fused mode pays shards×R, shards={shards}"
+            );
+        }
+    }
+
+    // Joins: duplicate probe-side sets are answered once per *distinct*
+    // query — 5 distinct queries repeated 3× each cost 5·R enumerations.
+    let distinct: Vec<SparseVec> = queries[..5].to_vec();
+    let r: Vec<SparseVec> = distinct
+        .iter()
+        .cycle()
+        .take(15)
+        .cloned()
+        .collect::<Vec<_>>();
+    let naive: Vec<JoinPair> = r
+        .iter()
+        .enumerate()
+        .flat_map(|(r_id, q)| {
+            index.search_all(q).into_iter().map(move |m| JoinPair {
+                r_id,
+                s_id: m.id,
+                similarity: m.similarity,
+            })
+        })
+        .collect();
+    let sharded = ShardedIndex::build(&index, ShardStrategy::ByDataset, 4);
+    let (pairs, delta) = enumerations_during(|| similarity_join(&r, &sharded));
+    assert_eq!(
+        pairs, naive,
+        "deduped sharded join equals per-occurrence loop"
+    );
+    assert_eq!(
+        delta,
+        (distinct.len() * REPS) as u64,
+        "one plan per distinct probe query"
+    );
+}

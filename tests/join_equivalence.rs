@@ -91,6 +91,63 @@ fn lsf_join_recall_and_parallel_determinism() {
 }
 
 #[test]
+fn duplicate_probe_sets_join_identically_through_bydataset_shards() {
+    // The plan pipeline answers each *distinct* probe query once and fans
+    // the answers back to every occurrence; under ByDataset the duplicates'
+    // indexed twins also co-locate on one shard (content-hash partitioning).
+    // Neither optimization may change a byte of the join output.
+    use skewsearch::core::{ShardStrategy, ShardedIndex};
+    let (ds, profile, mut r, alpha) = setup(35);
+    // Probe side with heavy duplication: every third query repeats query 0,
+    // plus a run of empty queries.
+    for t in 0..r.len() {
+        if t % 3 == 2 {
+            r[t] = r[0].clone();
+        }
+    }
+    r.extend(std::iter::repeat_n(SparseVec::empty(), 5));
+    let mut rng = StdRng::seed_from_u64(78);
+    let index = CorrelatedIndex::build(
+        &ds,
+        &profile,
+        CorrelatedParams::new(alpha)
+            .unwrap()
+            .with_options(IndexOptions {
+                repetitions: Repetitions::Fixed(8),
+                ..IndexOptions::default()
+            }),
+        &mut rng,
+    );
+    // Reference: the naive per-occurrence loop on the unsharded index.
+    let naive: Vec<_> = r
+        .iter()
+        .enumerate()
+        .flat_map(|(r_id, q)| {
+            index
+                .search_all(q)
+                .into_iter()
+                .map(move |m| (r_id, m.id, m.similarity))
+        })
+        .collect();
+    for shards in [1, 4] {
+        let sharded = ShardedIndex::build(&index, ShardStrategy::ByDataset, shards);
+        let got: Vec<_> = similarity_join(&r, &sharded)
+            .into_iter()
+            .map(|p| (p.r_id, p.s_id, p.similarity))
+            .collect();
+        assert_eq!(got, naive, "shards={shards}");
+    }
+    assert_eq!(
+        similarity_join(&r, &index)
+            .into_iter()
+            .map(|p| (p.r_id, p.s_id, p.similarity))
+            .collect::<Vec<_>>(),
+        naive,
+        "unsharded deduped join"
+    );
+}
+
+#[test]
 fn self_join_finds_planted_duplicates() {
     let profile = BernoulliProfile::two_block(1000, 0.2, 0.02).unwrap();
     let mut rng = StdRng::seed_from_u64(34);
