@@ -16,6 +16,7 @@
 //!
 //! All implement [`skewsearch_core::SetSimilaritySearch`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod brute;

@@ -89,7 +89,7 @@ impl Band {
         // Combine the r minima into one 64-bit key via sequential mixing.
         let mut key = 0xcbf29ce484222325u64;
         for h in &self.hashes {
-            let m = x.iter().map(|i| h.hash(i as u64)).min().unwrap();
+            let m = x.iter().map(|i| h.hash(i as u64)).min()?;
             key = skewsearch_hashing::mix::combine64(key, m);
         }
         Some(key)

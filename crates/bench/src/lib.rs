@@ -22,6 +22,8 @@
 //! finishes at laptop scale; they are throughput/latency *shape* probes, not
 //! publication-grade measurements.
 
+#![forbid(unsafe_code)]
+
 use criterion::Criterion;
 use rand::{rngs::StdRng, SeedableRng};
 use skewsearch_datagen::{BernoulliProfile, Dataset};
@@ -41,6 +43,7 @@ pub fn skewed_profile(n: usize, c: f64) -> BernoulliProfile {
         ((mass / 2.0 / pa).ceil() as usize, pa),
         ((mass / 2.0 / pb).ceil() as usize, pb),
     ])
+    // lint:allow(no-panic-in-lib, bench fixture with hard-coded valid probabilities; a failure is a bug in this helper)
     .unwrap()
 }
 
@@ -48,6 +51,7 @@ pub fn skewed_profile(n: usize, c: f64) -> BernoulliProfile {
 pub fn uniform_profile(n: usize, c: f64) -> BernoulliProfile {
     let mass = c * (n as f64).ln();
     let p = 0.25;
+    // lint:allow(no-panic-in-lib, bench fixture with hard-coded valid probabilities; a failure is a bug in this helper)
     BernoulliProfile::uniform((mass / p).ceil() as usize, p).unwrap()
 }
 

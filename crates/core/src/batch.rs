@@ -81,6 +81,13 @@ where
                 scope.spawn(move || {
                     let mut runs: Vec<(usize, Vec<T>)> = Vec::new();
                     loop {
+                        // Relaxed is sound here: the cursor is only a
+                        // work-claim ticket. `fetch_add` is atomic under any
+                        // ordering, so two workers can never claim the same
+                        // chunk; results are placed by `start` offset and
+                        // the `scope` join synchronizes all writes before
+                        // the slots are read. No other memory depends on
+                        // observing this counter's value.
                         let start = cursor.fetch_add(claim_chunk, Ordering::Relaxed);
                         if start >= items.len() {
                             break;
@@ -94,6 +101,7 @@ where
             .collect();
         handles
             .into_iter()
+            // lint:allow(no-panic-in-lib, join only errs when the worker itself panicked in `f` — re-raising the caller's own panic is the correct propagation)
             .flat_map(|h| h.join().expect("batch worker panicked"))
             .collect()
     });
@@ -105,6 +113,7 @@ where
     }
     slots
         .into_iter()
+        // lint:allow(no-panic-in-lib, the claim loop covers 0..len exactly once so every slot is Some; an empty slot is a lost answer and must not be silently dropped)
         .map(|s| s.expect("every claimed chunk fills its slots"))
         .collect()
 }

@@ -43,6 +43,9 @@ static ENUMERATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64
 /// DFS it counts. It is process-global and monotone — measure *deltas*, and
 /// serialize measured regions against other enumerating threads.
 pub fn enumeration_count() -> u64 {
+    // Relaxed is sound: the counter is a monotone statistic read for its
+    // value alone — no other memory is published through it, and callers
+    // serialize measured regions themselves (see above).
     ENUMERATIONS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
@@ -147,6 +150,9 @@ pub fn enumerate_filters_with<S: ThresholdScheme>(
     node_budget: usize,
     out: &mut Vec<PathKey>,
 ) -> EnumStats {
+    // Relaxed is sound: a monotone event count with no ordering obligations;
+    // the enumeration's outputs flow through return values, never through
+    // this counter.
     ENUMERATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut stats = EnumStats::default();
     if context.x.is_empty() {

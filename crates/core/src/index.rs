@@ -235,6 +235,7 @@ fn enumerate_chunked<S: ThresholdScheme>(
             .collect();
         handles
             .into_iter()
+            // lint:allow(no-panic-in-lib, join only errs when the enumeration worker itself panicked — re-raising the caller's own panic is the correct propagation)
             .map(|h| h.join().expect("build worker panicked"))
             .collect()
     })
@@ -343,6 +344,7 @@ impl<S: ThresholdScheme> LsfIndex<S> {
             build_stats.distinct_buckets += buckets.len();
             build_stats.max_bucket = build_stats
                 .max_bucket
+                // lint:allow(nondeterministic-iter, max over bucket sizes is an order-independent reduction — the result is the same for every visit order)
                 .max(buckets.values().map(Vec::len).max().unwrap_or(0));
             reps.push(Repetition {
                 hashers,
@@ -666,11 +668,13 @@ impl<S: ThresholdScheme> LsfIndex<S> {
             repetitions: reps.len(),
             total_filters: reps
                 .iter()
+                // lint:allow(nondeterministic-iter, sum of bucket sizes is an order-independent reduction)
                 .map(|r| r.buckets.values().map(Vec::len).sum::<usize>())
                 .sum(),
             distinct_buckets: reps.iter().map(|r| r.buckets.len()).sum(),
             max_bucket: reps
                 .iter()
+                // lint:allow(nondeterministic-iter, max over bucket sizes is an order-independent reduction)
                 .flat_map(|r| r.buckets.values().map(Vec::len))
                 .max()
                 .unwrap_or(0),

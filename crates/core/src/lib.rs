@@ -60,7 +60,8 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod adversarial;
 pub mod batch;

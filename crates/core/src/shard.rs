@@ -446,7 +446,7 @@ impl<S: Shardable + Send + Sync> SetSimilaritySearch for ShardedIndex<S> {
             self.merged_tagged(q, 1)
                 .into_iter()
                 .map(|t| t.hit)
-                .max_by(|a, b| a.similarity.partial_cmp(&b.similarity).unwrap())
+                .max_by(|a, b| a.similarity.total_cmp(&b.similarity))
         })
     }
 

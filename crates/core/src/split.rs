@@ -162,10 +162,12 @@ impl SplitIndex {
         let b_f = (ell * w / w_f).clamp(1e-6, 1.0);
         let b_r = ((params.i1 - ell) * w / w_r).clamp(1e-6, 1.0);
 
-        let freq_profile =
-            BernoulliProfile::new(ps[..cut as usize].to_vec()).expect("frequent sub-profile");
-        let rare_profile =
-            BernoulliProfile::new(ps[cut as usize..].to_vec()).expect("rare sub-profile");
+        let freq_profile = BernoulliProfile::new(ps[..cut as usize].to_vec())
+            // lint:allow(no-panic-in-lib, the slice comes from an already-validated profile so every p is in range)
+            .expect("frequent sub-profile");
+        let rare_profile = BernoulliProfile::new(ps[cut as usize..].to_vec())
+            // lint:allow(no-panic-in-lib, the slice comes from an already-validated profile so every p is in range)
+            .expect("rare sub-profile");
 
         let mut freq_vecs = Vec::with_capacity(dataset.n());
         let mut rare_vecs = Vec::with_capacity(dataset.n());

@@ -79,7 +79,7 @@ pub trait SetSimilaritySearch {
     fn search_best(&self, q: &SparseVec) -> Option<Match> {
         self.search_all(q)
             .into_iter()
-            .max_by(|a, b| a.similarity.partial_cmp(&b.similarity).unwrap())
+            .max_by(|a, b| a.similarity.total_cmp(&b.similarity))
     }
 
     /// All distinct vectors the structure can verify at or above the

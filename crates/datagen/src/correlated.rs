@@ -57,7 +57,7 @@ pub fn correlated_query_with<R: Rng + ?Sized>(
                 i += 1;
                 j += 1;
             }
-            (Some(a), b) if b.is_none() || a < b.unwrap() => {
+            (Some(a), b) if b.is_none_or(|b| a < b) => {
                 // i ∈ x \ n: kept iff the coin copies x.
                 if rng.random::<f64>() < alpha {
                     dims.push(a);

@@ -88,7 +88,7 @@ impl Dataset {
     /// used by Figure 2 (dimension identities are discarded).
     pub fn sorted_frequencies(&self) -> Vec<f64> {
         let mut f = self.empirical_frequencies();
-        f.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        f.sort_by(|a, b| b.total_cmp(a));
         f
     }
 
@@ -104,6 +104,7 @@ impl Dataset {
             }
         }
         BernoulliProfile::estimate_from_counts(&counts, self.n().max(1), smoothing)
+            // lint:allow(no-panic-in-lib, Laplace smoothing keeps every estimate strictly inside the unit interval)
             .expect("smoothed estimates are always valid probabilities")
     }
 

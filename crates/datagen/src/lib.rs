@@ -23,6 +23,7 @@
 //!   (Figure 2 / Table 1 workloads) plus a loader for the real data format;
 //! * [`skew`] — the frequency-plot transforms of Figure 2.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod correlated;

@@ -116,6 +116,7 @@ impl SurrogateSpec {
             self.avg_size,
             0.5,
         )
+        // lint:allow(no-panic-in-lib, head is clamped to 1..d so both pieces are non-empty and the zipf construction cannot fail)
         .expect("surrogate profile construction")
     }
 

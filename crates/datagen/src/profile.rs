@@ -278,13 +278,10 @@ impl BernoulliProfile {
     /// probability, together with the permutation `new_dim -> old_dim`.
     pub fn sorted_desc(&self) -> (Self, Vec<u32>) {
         let mut order: Vec<u32> = (0..self.d() as u32).collect();
-        order.sort_by(|&a, &b| {
-            self.ps[b as usize]
-                .partial_cmp(&self.ps[a as usize])
-                .unwrap()
-        });
+        order.sort_by(|&a, &b| self.ps[b as usize].total_cmp(&self.ps[a as usize]));
         let ps = order.iter().map(|&i| self.ps[i as usize]).collect();
         (
+            // lint:allow(no-panic-in-lib, a permutation of an already-validated profile stays valid)
             Self::new(ps).expect("permutation preserves validity"),
             order,
         )

@@ -18,6 +18,7 @@
 //! results plus [`table::Table`] renderers; the `repro` binary wires them to
 //! a CLI. EXPERIMENTS.md records paper-vs-measured values.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fig1;

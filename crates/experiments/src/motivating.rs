@@ -61,6 +61,7 @@ pub struct Motivating {
 pub fn compute(d: usize, i1: f64) -> Motivating {
     assert!(d >= 4, "need a non-trivial universe");
     assert!(i1 > 0.0 && i1 < 1.0);
+    // lint:allow(no-panic-in-lib, experiment fixture with hard-coded valid probabilities; a failure is a bug in this module)
     let profile = BernoulliProfile::harmonic(d, 0.5).unwrap();
     let ps = profile.ps();
     let w: f64 = profile.sum_p();

@@ -70,6 +70,7 @@ pub fn run(config: &RecallConfig) -> RecallCurve {
         ((mass / 2.0 / 0.25).ceil() as usize, 0.25),
         ((mass / 2.0 / 0.03).ceil() as usize, 0.03),
     ])
+    // lint:allow(no-panic-in-lib, experiment fixture with hard-coded valid probabilities; a failure is a bug in this module)
     .unwrap();
     let ds = Dataset::generate(&profile, config.n, &mut rng);
     let ln_n = (config.n as f64).ln();
@@ -79,6 +80,7 @@ pub fn run(config: &RecallConfig) -> RecallCurve {
             &ds,
             &profile,
             CorrelatedParams::new(config.alpha)
+                // lint:allow(no-panic-in-lib, experiment driver — an invalid experiment config is a fatal setup error reported by panicking)
                 .unwrap()
                 .with_options(IndexOptions {
                     repetitions: Repetitions::Fixed(r),

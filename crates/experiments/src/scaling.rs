@@ -72,6 +72,7 @@ impl ScalingConfig {
         let pb = self.head_p / self.skew_divisor;
         let head_count = (mass / 2.0 / pa).ceil() as usize;
         let tail_count = (mass / 2.0 / pb).ceil() as usize;
+        // lint:allow(no-panic-in-lib, experiment fixture with hard-coded valid probabilities; a failure is a bug in this module)
         BernoulliProfile::blocks(&[(head_count, pa), (tail_count, pb)]).unwrap()
     }
 }
@@ -118,6 +119,7 @@ pub fn run(config: &ScalingConfig) -> Scaling {
             &ds,
             &profile,
             CorrelatedParams::new(config.alpha)
+                // lint:allow(no-panic-in-lib, experiment driver — an invalid experiment config is a fatal setup error reported by panicking)
                 .unwrap()
                 .with_options(opts),
             &mut rng,
@@ -126,6 +128,7 @@ pub fn run(config: &ScalingConfig) -> Scaling {
             &ds,
             &profile,
             ChosenPathParams::for_correlated_model(&profile, config.alpha, 1.0 / 1.3)
+                // lint:allow(no-panic-in-lib, experiment driver — an invalid experiment config is a fatal setup error reported by panicking)
                 .unwrap()
                 .with_options(opts),
             &mut rng,
@@ -133,6 +136,7 @@ pub fn run(config: &ScalingConfig) -> Scaling {
         let (b1m, b2m) = skewsearch_rho::expected_similarities(&profile, config.alpha);
         let mh = MinHashLsh::build(
             &ds,
+            // lint:allow(no-panic-in-lib, experiment driver — an invalid experiment config is a fatal setup error reported by panicking)
             MinHashParams::new((b1m / 1.3).max(b2m * 1.01), b2m).unwrap(),
             &mut rng,
         );
@@ -202,6 +206,7 @@ pub fn run(config: &ScalingConfig) -> Scaling {
             });
         }
     }
+    // lint:allow(no-panic-in-lib, experiment configs always list at least one problem size; an empty ns is a fatal setup error)
     let last_profile = config.profile_for(*config.ns.last().unwrap());
     let (b1, b2) = skewsearch_rho::expected_similarities(&last_profile, config.alpha);
     Scaling {
@@ -230,6 +235,7 @@ pub fn run_adversarial(config: &ScalingConfig, b1: f64, deletions: usize) -> Sca
         let index = AdversarialIndex::build(
             &ds,
             &profile,
+            // lint:allow(no-panic-in-lib, experiment driver — an invalid experiment config is a fatal setup error reported by panicking)
             AdversarialParams::new(b1).unwrap().with_options(opts),
             &mut rng,
         );
@@ -272,6 +278,7 @@ pub fn run_adversarial(config: &ScalingConfig, b1: f64, deletions: usize) -> Sca
             recall: 1.0,
         });
     }
+    // lint:allow(no-panic-in-lib, experiment configs always list at least one problem size; an empty ns is a fatal setup error)
     let last_profile = config.profile_for(*config.ns.last().unwrap());
     Scaling {
         points,
@@ -358,6 +365,7 @@ pub fn run_sharded(config: &ScalingConfig, shard_counts: &[usize]) -> ShardedSca
             &ds,
             &profile,
             CorrelatedParams::new(config.alpha)
+                // lint:allow(no-panic-in-lib, experiment driver — an invalid experiment config is a fatal setup error reported by panicking)
                 .unwrap()
                 .with_options(opts),
             &mut rng,

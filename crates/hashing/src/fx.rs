@@ -35,6 +35,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
+            // lint:allow(no-panic-in-lib, chunks_exact(8) yields exactly 8-byte slices so the array conversion is infallible)
             self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
         }
         let rem = chunks.remainder();

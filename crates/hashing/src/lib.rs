@@ -26,6 +26,7 @@
 //! All randomness is injected through [`rand`] RNGs so the whole stack is
 //! deterministic under a fixed seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fx;

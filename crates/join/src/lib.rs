@@ -11,6 +11,7 @@
 //! same driver runs the paper's indexes, Chosen Path, MinHash, prefix
 //! filtering, and the exact nested-loop oracle used to validate them.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use skewsearch_core::SetSimilaritySearch;

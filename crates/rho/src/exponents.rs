@@ -14,7 +14,7 @@ use skewsearch_datagen::BernoulliProfile;
 /// `O(d)` to `O(#distinct p)` per bisection step.
 pub fn blocks_from_ps(ps: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = ps.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let mut blocks: Vec<(f64, f64)> = Vec::new();
     for p in sorted {
         match blocks.last_mut() {

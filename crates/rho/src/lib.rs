@@ -22,6 +22,7 @@
 //! All implicit equations are solved by bracketed bisection on provably
 //! monotone residuals ([`solve`]), so results carry ~1e-12 accuracy.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exponents;

@@ -25,6 +25,7 @@
 //! assert_eq!(similarity::braun_blanquet(&x, &q), 2.0 / 4.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod similarity;

@@ -1,0 +1,161 @@
+//! The `lint:allow` escape hatch.
+//!
+//! A finding is suppressed by an annotation of the form
+//!
+//! ```text
+//! // lint:allow(<lint-name>, <reason>)
+//! ```
+//!
+//! carried either as a trailing comment on the offending line or anywhere in
+//! the contiguous comment block immediately above it. The reason is
+//! mandatory and non-empty: the whole point of the pass is that every
+//! exception to a contract is *justified in writing* next to the code. A
+//! `lint:allow(...)` that names no lint or gives no reason is itself
+//! reported (as `lint-allow-syntax`), so a typo cannot silently disable a
+//! check.
+
+use crate::walk::SourceFile;
+
+/// One parsed `lint:allow(name, reason)` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The lint being allowed.
+    pub lint: String,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// Extracts every `lint:allow(...)` annotation from one comment string.
+/// Returns `Err` with a description for annotations that are syntactically
+/// `lint:allow(` but miss the `(name, reason)` shape.
+///
+/// An annotation only counts when the comment *starts* with the marker
+/// (`// lint:allow(...)`); a `lint:allow` mentioned mid-sentence is prose
+/// about the mechanism (this file is full of it), not a suppression.
+pub fn parse_annotations(comment: &str) -> Vec<Result<Allow, String>> {
+    const MARKER: &str = "lint:allow(";
+    let mut out = Vec::new();
+    let mut rest = comment.trim_start();
+    if !rest.starts_with(MARKER) {
+        return out;
+    }
+    while let Some(at) = rest.find(MARKER) {
+        let after = &rest[at + MARKER.len()..];
+        match after.find(')') {
+            None => {
+                out.push(Err("unclosed `lint:allow(` annotation".to_string()));
+                rest = after;
+            }
+            Some(close) => {
+                let inner = &after[..close];
+                match inner.split_once(',') {
+                    None => out.push(Err(format!(
+                        "`lint:allow({inner})` is missing a reason — write \
+                         `lint:allow(<lint-name>, <why this is sound>)`"
+                    ))),
+                    Some((name, reason)) => {
+                        let name = name.trim();
+                        let reason = reason.trim();
+                        if name.is_empty() || reason.is_empty() {
+                            out.push(Err(format!(
+                                "`lint:allow({inner})` needs both a lint name and a \
+                                 non-empty reason"
+                            )));
+                        } else {
+                            out.push(Ok(Allow {
+                                lint: name.to_string(),
+                                reason: reason.to_string(),
+                            }));
+                        }
+                    }
+                }
+                rest = &after[close + 1..];
+            }
+        }
+    }
+    out
+}
+
+/// True when line `idx` (0-based) of `file` is covered by a well-formed
+/// `lint:allow(lint, …)` — on the line itself, or in the contiguous run of
+/// comment-only lines directly above it.
+pub fn allows(file: &SourceFile, idx: usize, lint: &str) -> bool {
+    let named = |comment: &str| {
+        parse_annotations(comment)
+            .into_iter()
+            .flatten()
+            .any(|a| a.lint == lint)
+    };
+    if named(&file.lines[idx].comment) {
+        return true;
+    }
+    let mut li = idx;
+    while li > 0 {
+        li -= 1;
+        let line = &file.lines[li];
+        if !line.is_code_blank() || line.comment.is_empty() {
+            break;
+        }
+        if named(&line.comment) {
+            return true;
+        }
+    }
+    false
+}
+
+/// True when any line of `file` carries a well-formed `lint:allow(lint, …)`
+/// annotation — the file-level escape used by whole-file lints such as
+/// `forbid-unsafe`.
+pub fn file_allows(file: &SourceFile, lint: &str) -> bool {
+    file.lines.iter().any(|l| {
+        parse_annotations(&l.comment)
+            .into_iter()
+            .flatten()
+            .any(|a| a.lint == lint)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::{FileKind, SourceFile};
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs", "core", FileKind::Lib, false, src)
+    }
+
+    #[test]
+    fn parses_name_and_reason() {
+        let got =
+            parse_annotations(" lint:allow(no-panic-in-lib, join re-raises the worker panic)");
+        assert_eq!(
+            got,
+            vec![Ok(Allow {
+                lint: "no-panic-in-lib".to_string(),
+                reason: "join re-raises the worker panic".to_string(),
+            })]
+        );
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let got = parse_annotations(" lint:allow(no-panic-in-lib)");
+        assert!(matches!(got.as_slice(), [Err(_)]));
+    }
+
+    #[test]
+    fn prose_mentions_are_not_annotations() {
+        assert!(parse_annotations(" annotate with lint:allow(foo, bar) to suppress").is_empty());
+    }
+
+    #[test]
+    fn same_line_and_preceding_comment_block_both_count() {
+        let trailing = file("foo(); // lint:allow(x, reason)\n");
+        assert!(allows(&trailing, 0, "x"));
+        let above = file("// lint:allow(x, reason)\n// more context\nfoo();\n");
+        assert!(allows(&above, 2, "x"));
+        let interrupted = file("// lint:allow(x, reason)\nbar();\nfoo();\n");
+        assert!(!allows(&interrupted, 2, "x"));
+        assert!(!allows(&trailing, 0, "y"), "name must match");
+    }
+}

@@ -1,0 +1,42 @@
+//! Diagnostics: one finding per contract violation, formatted as
+//! `file:line: [lint-name] message` so editors and CI logs can jump
+//! straight to the offending line.
+
+use std::path::PathBuf;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The lint that fired (e.g. `nondeterministic-iter`).
+    pub lint: &'static str,
+    /// Human-readable explanation, including the escape hatch where one
+    /// exists.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// Orders diagnostics deterministically (path, then line, then lint) — the
+/// lint driver's own output must not depend on walk or check order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (&a.path, a.line, a.lint)
+            .cmp(&(&b.path, b.line, b.lint))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}

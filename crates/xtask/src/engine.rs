@@ -1,0 +1,59 @@
+//! The lint engine: runs every registered lint over every walked file and
+//! keeps the `lint:allow` annotations themselves honest.
+
+use crate::allow;
+use crate::diag::{self, Diagnostic};
+use crate::lints;
+use crate::walk::{self, SourceFile};
+
+/// Runs all lints plus annotation hygiene over already-lexed `files`,
+/// returning findings in deterministic order. This is the entry point the
+/// fixture tests drive directly.
+pub fn lint_files(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let lints = lints::all();
+    let known: Vec<&'static str> = lints.iter().map(|l| l.name()).collect();
+    let mut diags = Vec::new();
+    for file in files {
+        for lint in &lints {
+            lint.check(file, &mut diags);
+        }
+        annotation_hygiene(file, &known, &mut diags);
+    }
+    diag::sort(&mut diags);
+    diags
+}
+
+/// Walks the workspace at `root` and lints every file.
+pub fn lint_workspace(root: &std::path::Path) -> Result<Vec<Diagnostic>, String> {
+    let files = walk::workspace_files(root)?;
+    Ok(lint_files(&files))
+}
+
+/// Reports malformed `lint:allow(...)` annotations and annotations naming a
+/// lint that does not exist — a typo must fail the build, not silently
+/// disable a check.
+fn annotation_hygiene(file: &SourceFile, known: &[&'static str], out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        for parsed in allow::parse_annotations(&line.comment) {
+            match parsed {
+                Err(msg) => out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    lint: "lint-allow-syntax",
+                    message: msg,
+                }),
+                Ok(a) if !known.contains(&a.lint.as_str()) => out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    lint: "lint-allow-syntax",
+                    message: format!(
+                        "lint:allow names unknown lint `{}` (known: {})",
+                        a.lint,
+                        known.join(", ")
+                    ),
+                }),
+                Ok(_) => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! A minimal line-oriented Rust lexer.
+//!
+//! skewcheck's lints are substring checks, so the only lexing they need is
+//! the part substring checks cannot fake: knowing which bytes of a file are
+//! *code* and which are comments, string/char literals, or `#[cfg(test)]`
+//! items. This module splits a source file into [`Line`]s whose `code` field
+//! has every comment and literal blanked to spaces (preserving byte offsets
+//! and line numbers) and whose `comment` field collects the comment text of
+//! the line, so `unwrap()` inside a doc-test snippet or `"HashMap"` inside a
+//! string can never trip a lint.
+//!
+//! It is not a full lexer — no token stream, no spans — but it handles the
+//! constructs that would otherwise cause misclassification: nested block
+//! comments, raw strings with `#` fences, byte/raw-byte strings, char
+//! literals vs. lifetimes, and escape sequences.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line's code with comments and string/char literal *contents*
+    /// blanked to spaces. Same length as the source line.
+    pub code: String,
+    /// Concatenated comment text appearing on this line (line, block, and
+    /// doc comments), without the `//` / `/*` markers.
+    pub comment: String,
+    /// True when the line lies inside a `#[cfg(test)]` item (inline test
+    /// module or test-gated function), so production lints skip it.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// True when the line has no code tokens at all — blank, or comment-only.
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Depth of nesting (Rust block comments nest).
+    BlockComment(u32),
+    /// Inside `"…"` or `b"…"`.
+    Str,
+    /// Inside `r"…"` / `r#"…"#` / `br##"…"##`; payload = number of `#`.
+    RawStr(u32),
+    /// Inside `'…'` or `b'…'`.
+    CharLit,
+}
+
+/// Splits `source` into classified [`Line`]s. Never fails: unterminated
+/// constructs simply blank to the end of the file, which is also what rustc
+/// would reject at compile time.
+pub fn split_lines(source: &str) -> Vec<Line> {
+    let bytes = source.as_bytes();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // True when the previous code byte could end an identifier, so an `r`
+    // or `b` here is part of a name (`for`, `grab"…"` is impossible, but
+    // `var"` via macro paste is) rather than a raw/byte-string prefix.
+    let mut prev_ident = false;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == b'"' {
+                    state = State::Str;
+                    code.push(' ');
+                    i += 1;
+                } else if !prev_ident && (c == b'r' || c == b'b') {
+                    // Possible raw/byte string prefix: r" r#" b" br" br#" b'
+                    let (skip, next_state) = match string_prefix(&bytes[i..]) {
+                        Some(p) => p,
+                        None => {
+                            code.push(c as char);
+                            prev_ident = true;
+                            i += 1;
+                            continue;
+                        }
+                    };
+                    for _ in 0..skip {
+                        code.push(' ');
+                    }
+                    state = next_state;
+                    i += skip;
+                } else if c == b'\'' {
+                    // Char literal vs lifetime: a char literal closes within
+                    // a few bytes (`'a'`, `'\n'`, `'\u{1F600}'`); a lifetime
+                    // never has a matching close quote before a non-ident
+                    // byte. Escapes always mean a literal.
+                    if is_char_literal(&bytes[i..]) {
+                        state = State::CharLit;
+                        code.push(' ');
+                    } else {
+                        code.push('\'');
+                    }
+                    i += 1;
+                } else {
+                    code.push(c as char);
+                    prev_ident = c == b'_' || c.is_ascii_alphanumeric();
+                    i += 1;
+                    continue;
+                }
+                prev_ident = false;
+            }
+            State::LineComment => {
+                comment.push(c as char);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    if depth > 1 {
+                        comment.push_str("*/");
+                    }
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(c as char);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == b'\\' && i + 1 < bytes.len() {
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    if c == b'"' {
+                        state = State::Code;
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' && closes_raw(&bytes[i + 1..], hashes) {
+                    for _ in 0..=hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == b'\\' && i + 1 < bytes.len() {
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    if c == b'\'' {
+                        state = State::Code;
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_spans(&mut lines);
+    lines
+}
+
+/// Recognizes a raw/byte string opener at the start of `bytes`. Returns the
+/// byte length of the opener and the state it enters.
+fn string_prefix(bytes: &[u8]) -> Option<(usize, State)> {
+    let mut j = 0usize;
+    if bytes[0] == b'b' {
+        j = 1;
+    }
+    match bytes.get(j) {
+        Some(b'"') => Some((j + 1, State::Str)),
+        Some(b'\'') if j == 1 => Some((j + 1, State::CharLit)),
+        Some(b'r') => {
+            let mut hashes = 0u32;
+            let mut k = j + 1;
+            while bytes.get(k) == Some(&b'#') {
+                hashes += 1;
+                k += 1;
+            }
+            if bytes.get(k) == Some(&b'"') {
+                Some((k + 1, State::RawStr(hashes)))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// True when the `'` at `bytes[0]` opens a char literal rather than a
+/// lifetime.
+fn is_char_literal(bytes: &[u8]) -> bool {
+    match bytes.get(1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// True when `rest` (the bytes after a `"`) begins with `hashes` `#` bytes,
+/// closing an `r#…#"…"#…#` raw string.
+fn closes_raw(rest: &[u8], hashes: u32) -> bool {
+    let n = hashes as usize;
+    rest.len() >= n && rest[..n].iter().all(|&b| b == b'#')
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item. The attribute's
+/// item extends to the matching close brace of the first `{` after it (or
+/// the first `;` at brace depth zero for `mod tests;` forms).
+fn mark_test_spans(lines: &mut [Line]) {
+    let mut li = 0usize;
+    while li < lines.len() {
+        if !lines[li].in_test && lines[li].code.contains("cfg(test)") {
+            let end = test_item_end(lines, li);
+            for line in lines.iter_mut().take(end + 1).skip(li) {
+                line.in_test = true;
+            }
+            li = end + 1;
+        } else {
+            li += 1;
+        }
+    }
+}
+
+/// Finds the last line of the item introduced at `start` (an attribute
+/// line): scans forward for the first `{` and returns the line of its
+/// matching `}`, or the line of a `;` hit first at depth zero.
+fn test_item_end(lines: &[Line], start: usize) -> usize {
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (li, line) in lines.iter().enumerate().skip(start) {
+        for b in line.code.bytes() {
+            match b {
+                b'{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        return li;
+                    }
+                }
+                b';' if !opened && depth == 0 && li > start => return li,
+                _ => {}
+            }
+        }
+    }
+    lines.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        split_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let lines = split_lines("let x = \"panic!\"; // but panic! here is comment\n");
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(lines[0].comment.contains("panic!"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_blanked() {
+        let c = codes("let x = r#\"unwrap() \" still in\"# + y;\n");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("+ y;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = split_lines("a /* one /* two */ still */ b\n/* open\nunwrap()\n*/ c\n");
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("still"));
+        assert!(!lines[2].code.contains("unwrap"));
+        assert!(lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let c = codes("fn f<'a>(x: &'a str) { let q = '\\''; let z = 'z'; }\n");
+        assert!(c[0].contains("'a"), "{}", c[0]);
+        assert!(!c[0].contains('z') || !c[0].contains("'z'"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked_to_their_close_brace() {
+        let src =
+            "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\npub fn after() {}\n";
+        let lines = split_lines(src);
+        let flags: Vec<bool> = lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn doc_comment_examples_do_not_leak_into_code() {
+        let lines = split_lines("/// let v = map.values().unwrap();\nfn real() {}\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[1].code.contains("real"));
+    }
+}

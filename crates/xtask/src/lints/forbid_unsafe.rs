@@ -1,0 +1,51 @@
+//! `forbid-unsafe`: every crate root locks the tree's zero-`unsafe` state
+//! in.
+//!
+//! **Contract protected.** The workspace contains no `unsafe` today, and
+//! the concurrency story (scoped threads, atomics with justified orderings)
+//! is auditable precisely because of that. `#![forbid(unsafe_code)]` at
+//! each crate root turns the status quo into a compiler guarantee that an
+//! inner `#[allow]` cannot undo — `forbid` is the one lint level that
+//! refuses to be overridden. This check ensures no crate root loses (or
+//! never gains) the attribute; a crate that one day genuinely needs
+//! `unsafe` opts out explicitly with a file-level
+//! `lint:allow(forbid-unsafe, <reason>)` and downgrades to `deny`.
+
+use super::Lint;
+use crate::allow;
+use crate::diag::Diagnostic;
+use crate::walk::SourceFile;
+
+/// The attribute every crate root must carry.
+const ATTRIBUTE: &str = "#![forbid(unsafe_code)]";
+
+/// See module docs.
+pub struct ForbidUnsafe;
+
+impl Lint for ForbidUnsafe {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !file.is_crate_root {
+            return;
+        }
+        if file.lines.iter().any(|l| l.code.contains(ATTRIBUTE)) {
+            return;
+        }
+        if allow::file_allows(file, self.name()) {
+            return;
+        }
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: 1,
+            lint: self.name(),
+            message: format!(
+                "crate root is missing `{ATTRIBUTE}`; the workspace is unsafe-free and \
+                 every root pins that — opt out (and say why) with a file-level \
+                 lint:allow(forbid-unsafe, <reason>)"
+            ),
+        });
+    }
+}

@@ -1,0 +1,73 @@
+//! The lint registry and the small text-matching helpers lints share.
+//!
+//! Each lint is one module implementing [`Lint`] over a lexed
+//! [`SourceFile`]; the engine (`crate::engine`) runs every registered lint
+//! over every walked file. Lints scope themselves — by crate, target kind,
+//! or exact path — so the registry stays a flat list.
+
+use crate::diag::Diagnostic;
+use crate::walk::SourceFile;
+
+pub mod forbid_unsafe;
+pub mod no_panic;
+pub mod nondeterministic_iter;
+pub mod relaxed_ordering;
+pub mod wall_clock;
+
+/// One static-analysis check.
+pub trait Lint {
+    /// Stable lint name, used in diagnostics and `lint:allow(name, reason)`.
+    fn name(&self) -> &'static str;
+    /// Appends findings for `file` to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Every registered lint, in reporting order.
+pub fn all() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(nondeterministic_iter::NondeterministicIter),
+        Box::new(relaxed_ordering::RelaxedOrderingJustified),
+        Box::new(no_panic::NoPanicInLib),
+        Box::new(forbid_unsafe::ForbidUnsafe),
+        Box::new(wall_clock::WallClockFreeQueryPath),
+    ]
+}
+
+/// True when byte `b` can be part of a Rust identifier.
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Finds every occurrence of `word` in `code` that stands alone as an
+/// identifier (not embedded in a longer name), returning byte offsets.
+pub(crate) fn ident_occurrences(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(at) = code[from..].find(word) {
+        let start = from + at;
+        let end = start + word.len();
+        let pre_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let post_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if pre_ok && post_ok {
+            out.push(start);
+        }
+        from = start + 1;
+    }
+    out
+}
+
+/// The identifier ending at byte `end` of `code` (exclusive), if any —
+/// e.g. the receiver name directly before a `.method(` call.
+pub(crate) fn ident_ending_at(code: &str, end: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        None
+    } else {
+        Some(&code[start..end])
+    }
+}

@@ -1,0 +1,93 @@
+//! `no-panic-in-lib`: library code must not contain partial-function
+//! escapes.
+//!
+//! **Contract protected.** The north-star architecture (ROADMAP: query
+//! server, sharded fan-out) turns every library panic into an availability
+//! bug: one `unwrap()` on an edge-case input kills a worker holding claimed
+//! batch chunks. Library code therefore returns `Result`/`Option`, proves
+//! the invariant with `assert!` (which documents *what* holds, not just
+//! that something broke), or annotates the line with
+//! `lint:allow(no-panic-in-lib, <reason>)` stating why the panic is
+//! unreachable or is the correct propagation (e.g. re-raising a worker
+//! thread's own panic). Tests, benches, examples, and binary entry points
+//! are out of scope — panicking on bad CLI arguments or failed test
+//! expectations is idiomatic there.
+
+use super::{ident_ending_at, ident_occurrences, Lint};
+use crate::allow;
+use crate::diag::Diagnostic;
+use crate::walk::{FileKind, SourceFile};
+
+/// Macro invocations that unconditionally panic.
+const PANIC_MACROS: [&str; 3] = ["panic!", "unimplemented!", "todo!"];
+/// Method calls that panic on the empty case. `.unwrap()` must match
+/// exactly — `unwrap_or`/`unwrap_or_else`/`unwrap_or_default` are total.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// See module docs.
+pub struct NoPanicInLib;
+
+impl Lint for NoPanicInLib {
+    fn name(&self) -> &'static str {
+        "no-panic-in-lib"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.kind != FileKind::Lib {
+            return;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let Some(what) = panic_site(&line.code) else {
+                continue;
+            };
+            if allow::allows(file, idx, self.name()) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: idx + 1,
+                lint: self.name(),
+                message: format!(
+                    "`{what}` can panic in library code; return the error, prove the \
+                     invariant with an assert, or justify with \
+                     lint:allow(no-panic-in-lib, <reason>)"
+                ),
+            });
+        }
+    }
+}
+
+/// The first panicking construct on the line, as display text.
+fn panic_site(code: &str) -> Option<String> {
+    for mac in PANIC_MACROS {
+        let bare = &mac[..mac.len() - 1];
+        if ident_occurrences(code, bare)
+            .into_iter()
+            .any(|at| code[at + bare.len()..].starts_with('!'))
+        {
+            return Some(format!("{mac}(...)"));
+        }
+    }
+    for method in PANIC_METHODS {
+        for at in ident_occurrences(code, method) {
+            // Must be a method call `.unwrap()` / `.expect(` — not a free
+            // function, not an `unwrap_or` family member (the identifier
+            // boundary already excludes those), not `#[expect(...)]`.
+            if at == 0 || code.as_bytes()[at - 1] != b'.' {
+                continue;
+            }
+            let after = &code[at + method.len()..];
+            let is_call = match method {
+                "unwrap" => after.starts_with("()"),
+                _ => after.starts_with('('),
+            };
+            if is_call && ident_ending_at(code, at - 1).is_none_or(|r| r != "self") {
+                return Some(format!(".{method}(...)"));
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,229 @@
+//! `nondeterministic-iter`: no hash-order iteration in result-producing
+//! crates.
+//!
+//! **Contract protected.** Every externally observable ordering in this
+//! workspace — `search_all`'s first-discovery order, the sharded exact-merge
+//! protocol's `(pass, step, id)` sort, batch == sequential equivalence — is
+//! pinned by tests that can only *sample* inputs. A single `for … in map`
+//! over a `HashMap`/`FxHashMap` in a result path reintroduces iteration
+//! order that depends on hash seeds, insertion history, or capacity, and
+//! breaks those contracts only on some inputs. Inside the result-producing
+//! crates (`core`, `baselines`, `join`) any iteration over a hash-keyed
+//! collection is therefore an error unless the line carries
+//! `lint:allow(nondeterministic-iter, <reason>)` — the legitimate uses are
+//! order-independent reductions (`.values().map(Vec::len).sum()`), and the
+//! annotation forces that argument to be written down.
+//!
+//! **Detection.** A lexer can't do type inference, so the lint tracks names:
+//! any identifier declared or bound with a `HashMap`/`HashSet`/`FxHashMap`/
+//! `FxHashSet` type in the same file (let bindings, struct fields, fn
+//! parameters) is treated as hash-keyed, and iterating it — `.iter()`,
+//! `.keys()`, `.values()`, `.drain()`, `for … in` — is flagged. The
+//! map-only methods `.keys()`/`.values()`/`.into_keys()`/`.into_values()`
+//! are additionally flagged on *any* receiver (except names tracked as
+//! `BTreeMap`/`BTreeSet`, whose order is deterministic), which catches
+//! cross-file fields like `rep.buckets.values()`.
+
+use std::collections::BTreeSet;
+
+use super::{ident_ending_at, ident_occurrences, Lint};
+use crate::allow;
+use crate::diag::Diagnostic;
+use crate::walk::{FileKind, SourceFile};
+
+/// Crates whose outputs are ordering-contracted (see module docs).
+const RESULT_CRATES: [&str; 3] = ["core", "baselines", "join"];
+/// Hash-keyed collection type names to track (std and the in-tree Fx pair).
+const HASH_TYPES: [&str; 4] = ["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
+/// Deterministically ordered collections whose map-like methods are fine.
+const ORDERED_TYPES: [&str; 2] = ["BTreeMap", "BTreeSet"];
+/// Methods that iterate a collection in storage order.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+/// Methods that only exist on map-like types, flagged on any receiver.
+const MAP_ONLY_METHODS: [&str; 4] = ["keys", "into_keys", "values", "values_mut"];
+
+/// See module docs.
+pub struct NondeterministicIter;
+
+impl Lint for NondeterministicIter {
+    fn name(&self) -> &'static str {
+        "nondeterministic-iter"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.kind != FileKind::Lib || !RESULT_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let hashed = declared_names(file, &HASH_TYPES);
+        let ordered = declared_names(file, &ORDERED_TYPES);
+
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let culprit = hashed
+                .iter()
+                .find_map(|name| iterates_name(&line.code, name).then(|| format!("`{name}`")))
+                .or_else(|| map_only_call(&line.code, &ordered));
+            let Some(culprit) = culprit else { continue };
+            if allow::allows(file, idx, self.name()) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: idx + 1,
+                lint: self.name(),
+                message: format!(
+                    "iteration over hash-keyed collection {culprit} has nondeterministic \
+                     order in a result-producing crate; sort the output or justify with \
+                     lint:allow(nondeterministic-iter, <reason>)"
+                ),
+            });
+        }
+    }
+}
+
+/// Collects identifiers bound to any of `types` anywhere in the file: let
+/// bindings (`let x = FxHashMap::default()`), typed bindings / struct fields
+/// / fn params (`x: &mut FxHashSet<u32>`).
+fn declared_names(file: &SourceFile, types: &[&str]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in &file.lines {
+        let code = line.code.trim_start();
+        if code.starts_with("use ") || code.starts_with("pub use ") {
+            continue;
+        }
+        for ty in types {
+            for at in ident_occurrences(&line.code, ty) {
+                if let Some(name) = binding_before(&line.code, at) {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Given a type token at byte `at`, walks left over the declaration syntax
+/// (`:`, `=`, `&`, `mut`, lifetimes, and qualifying `path::` segments) to
+/// the identifier being bound, if this occurrence is a binding at all.
+fn binding_before(code: &str, at: usize) -> Option<String> {
+    let mut before = code[..at].trim_end();
+    // Strip a qualifying path (`skewsearch_hashing::FxHashMap`).
+    while let Some(stripped) = before.strip_suffix("::") {
+        let ident = ident_ending_at(stripped, stripped.len())?;
+        before = stripped[..stripped.len() - ident.len()].trim_end();
+    }
+    // Strip reference/mutability/lifetime noise between `:` and the type.
+    loop {
+        let trimmed = before.trim_end();
+        if let Some(s) = trimmed.strip_suffix("mut") {
+            if s.is_empty() || !super::is_ident_byte(s.as_bytes()[s.len() - 1]) {
+                before = s;
+                continue;
+            }
+        }
+        if let Some(s) = trimmed.strip_suffix('&') {
+            before = s;
+            continue;
+        }
+        // A lifetime like `'a`: identifier preceded by a quote.
+        if let Some(ident) = ident_ending_at(trimmed, trimmed.len()) {
+            let head = &trimmed[..trimmed.len() - ident.len()];
+            if let Some(stripped) = head.strip_suffix('\'') {
+                before = stripped;
+                continue;
+            }
+        }
+        before = trimmed;
+        break;
+    }
+    if let Some(s) = before.strip_suffix(':') {
+        let s = s.trim_end();
+        let name = ident_ending_at(s, s.len())?;
+        return binding_name(name);
+    }
+    if let Some(s) = before.strip_suffix('=') {
+        let s = s.trim_end_matches([' ', ':']).trim_end();
+        let name = ident_ending_at(s, s.len())?;
+        return binding_name(name);
+    }
+    None
+}
+
+/// Filters out keywords and path segments that `binding_before` can land on.
+fn binding_name(name: &str) -> Option<String> {
+    const NOT_NAMES: [&str; 8] = ["let", "mut", "ref", "pub", "in", "if", "self", "Self"];
+    if NOT_NAMES.contains(&name) {
+        None
+    } else {
+        Some(name.to_string())
+    }
+}
+
+/// True when `code` iterates the tracked collection `name`: either
+/// `name.<iter-method>(` or a `for … in` whose source expression mentions
+/// `name`.
+fn iterates_name(code: &str, name: &str) -> bool {
+    for at in ident_occurrences(code, name) {
+        let after = &code[at + name.len()..];
+        if let Some(rest) = after.strip_prefix('.') {
+            if ITER_METHODS
+                .iter()
+                .any(|m| rest.strip_prefix(m).is_some_and(|r| r.starts_with('(')))
+            {
+                return true;
+            }
+        }
+    }
+    if let Some(src) = for_loop_source(code) {
+        if !ident_occurrences(src, name).is_empty() {
+            return true;
+        }
+    }
+    false
+}
+
+/// The source expression of a `for <pat> in <expr> {` on this line, if any.
+fn for_loop_source(code: &str) -> Option<&str> {
+    let for_at = ident_occurrences(code, "for").into_iter().next()?;
+    let after_for = &code[for_at + 3..];
+    let in_at = ident_occurrences(after_for, "in").into_iter().next()?;
+    let src = &after_for[in_at + 2..];
+    Some(src.trim_end().trim_end_matches('{'))
+}
+
+/// Flags `.keys()` / `.values()` style calls on receivers that are not
+/// tracked as ordered (`BTreeMap`/`BTreeSet`). Returns a display name for
+/// the receiver.
+fn map_only_call(code: &str, ordered: &BTreeSet<String>) -> Option<String> {
+    for method in MAP_ONLY_METHODS {
+        for at in ident_occurrences(code, method) {
+            let after = &code[at + method.len()..];
+            if !after.starts_with('(') {
+                continue;
+            }
+            if at == 0 || code.as_bytes()[at - 1] != b'.' {
+                continue;
+            }
+            let receiver = ident_ending_at(code, at - 1);
+            match receiver {
+                Some(name) if ordered.contains(name) => continue,
+                Some(name) => return Some(format!("`{name}`")),
+                None => return Some("this expression".to_string()),
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,71 @@
+//! `relaxed-ordering-justified`: weak atomic orderings carry their proof.
+//!
+//! **Contract protected.** The batch executor's claim cursor
+//! (`core/src/batch.rs`) and the enumeration counter (`core/src/engine.rs`)
+//! use `Ordering::Relaxed` *soundly* — the cursor is only a work ticket and
+//! results are re-ordered by slot afterwards; the counter is a monotone
+//! statistic. But "batch == sequential at any thread count" is exactly the
+//! kind of contract a future `Relaxed` can silently break: the compiler
+//! accepts any ordering, the tests sample a few interleavings, and the bug
+//! ships. This lint does not try to model the memory order; it enforces the
+//! cheaper invariant that every `Ordering::Relaxed` / `Ordering::AcqRel`
+//! use sits next to a comment arguing why the weak ordering cannot affect
+//! observable results — same line or the line directly above.
+
+use super::Lint;
+use crate::allow;
+use crate::diag::Diagnostic;
+use crate::walk::{FileKind, SourceFile};
+
+/// Orderings that demand a written justification. `SeqCst`, `Acquire`, and
+/// `Release` are the conservative defaults and pass silently.
+const WEAK_ORDERINGS: [&str; 2] = ["Ordering::Relaxed", "Ordering::AcqRel"];
+
+/// See module docs.
+pub struct RelaxedOrderingJustified;
+
+impl Lint for RelaxedOrderingJustified {
+    fn name(&self) -> &'static str {
+        "relaxed-ordering-justified"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.kind != FileKind::Lib {
+            return;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let Some(which) = WEAK_ORDERINGS.iter().find(|o| line.code.contains(*o)) else {
+                continue;
+            };
+            if is_justified(file, idx) || allow::allows(file, idx, self.name()) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: idx + 1,
+                lint: self.name(),
+                message: format!(
+                    "`{which}` without an adjacent justification; add a comment on this \
+                     line or the line above arguing why the weak ordering cannot change \
+                     observable results"
+                ),
+            });
+        }
+    }
+}
+
+/// A use is justified by any non-empty comment on the same line, or by a
+/// comment-only line directly above (the usual block-comment-then-code
+/// shape).
+fn is_justified(file: &SourceFile, idx: usize) -> bool {
+    if !file.lines[idx].comment.trim().is_empty() {
+        return true;
+    }
+    idx > 0 && {
+        let above = &file.lines[idx - 1];
+        above.is_code_blank() && !above.comment.trim().is_empty()
+    }
+}

@@ -1,0 +1,70 @@
+//! `wall-clock-free-query-path`: query answers are pure functions of
+//! `(index, query)`.
+//!
+//! **Contract protected.** The equivalence suites (`plan_equivalence`,
+//! `shard_equivalence`, `batch_equivalence`) assert that planning, sharding,
+//! and batching are *observationally invisible* — the same query against the
+//! same built index yields byte-identical matches. That only holds if
+//! nothing on the query path reads an ambient source that differs across
+//! runs, processes, or machines: wall-clock time (`Instant::now`,
+//! `SystemTime`) and the per-process hash seed (`RandomState`) are the two
+//! stdlib back doors. They are forbidden outright in the five core modules
+//! that execute queries — `index`, `plan`, `shard`, `engine`, `batch` —
+//! where even "just for logging" uses tend to leak into heuristics later.
+//! Timing belongs in benches and experiments; randomized *build* seeds come
+//! in through the caller's explicit `Rng`.
+
+use super::Lint;
+use crate::allow;
+use crate::diag::Diagnostic;
+use crate::walk::SourceFile;
+
+/// The result-critical core modules that execute queries.
+const QUERY_PATH: [&str; 5] = [
+    "crates/core/src/index.rs",
+    "crates/core/src/plan.rs",
+    "crates/core/src/shard.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/batch.rs",
+];
+
+/// Ambient-state constructors that make answers depend on when/where the
+/// process runs.
+const FORBIDDEN: [&str; 3] = ["Instant::now", "SystemTime", "RandomState"];
+
+/// See module docs.
+pub struct WallClockFreeQueryPath;
+
+impl Lint for WallClockFreeQueryPath {
+    fn name(&self) -> &'static str {
+        "wall-clock-free-query-path"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let path = file.path.to_string_lossy().replace('\\', "/");
+        if !QUERY_PATH.contains(&path.as_str()) {
+            return;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let Some(what) = FORBIDDEN.iter().find(|p| line.code.contains(*p)) else {
+                continue;
+            };
+            if allow::allows(file, idx, self.name()) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: idx + 1,
+                lint: self.name(),
+                message: format!(
+                    "`{what}` on the query path makes answers depend on time or \
+                     per-process hash seeds; move timing to benches/experiments or \
+                     justify with lint:allow(wall-clock-free-query-path, <reason>)"
+                ),
+            });
+        }
+    }
+}

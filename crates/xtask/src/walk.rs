@@ -1,0 +1,171 @@
+//! Workspace walking without `cargo metadata`.
+//!
+//! The workspace layout is fixed by convention — a root facade package plus
+//! `crates/<name>` members — so the walker enumerates it directly from the
+//! filesystem: no network, no cargo invocation, no JSON parsing. Vendored
+//! dependency stand-ins (`vendor/`), build output (`target/`), and
+//! skewcheck's own lint fixtures (`tests/fixtures/`) are excluded; they are
+//! respectively third-party, generated, and *intentionally* violating.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Line};
+
+/// What kind of cargo target a file belongs to; lints scope themselves by
+/// this (e.g. panics are fine in tests and benches, not in library code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` except `src/bin/**` — library code, the strictest scope.
+    Lib,
+    /// `src/bin/**` or `src/main.rs` — binary entry points (CLI glue may
+    /// panic on bad arguments).
+    Bin,
+    /// `tests/**` — integration tests.
+    Test,
+    /// `benches/**` — benchmarks.
+    Bench,
+    /// `examples/**` — examples.
+    Example,
+}
+
+/// One workspace source file, lexed and tagged with enough metadata for
+/// every lint to decide applicability.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, as printed in diagnostics.
+    pub path: PathBuf,
+    /// Short crate name: the `crates/<name>` directory, or `"skewsearch"`
+    /// for the root facade package.
+    pub crate_name: String,
+    /// Which cargo target the file belongs to.
+    pub kind: FileKind,
+    /// True for the crate root (`src/lib.rs`), where crate-level attributes
+    /// like `#![forbid(unsafe_code)]` must live.
+    pub is_crate_root: bool,
+    /// The lexed lines (see [`crate::lexer`]).
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Lexes `source` into a [`SourceFile`]. Fixture tests use this directly
+    /// to fabricate files with any metadata they need.
+    pub fn parse(
+        path: impl Into<PathBuf>,
+        crate_name: impl Into<String>,
+        kind: FileKind,
+        is_crate_root: bool,
+        source: &str,
+    ) -> Self {
+        SourceFile {
+            path: path.into(),
+            crate_name: crate_name.into(),
+            kind,
+            is_crate_root,
+            lines: lexer::split_lines(source),
+        }
+    }
+}
+
+/// Collects every lintable `.rs` file in the workspace rooted at `root`, in
+/// a deterministic (path-sorted) order. I/O errors on individual files are
+/// returned as messages so the driver can report and fail loudly rather
+/// than silently lint a partial tree.
+pub fn workspace_files(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut packages: Vec<(String, PathBuf)> = vec![("skewsearch".to_string(), root.to_path_buf())];
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = Vec::new();
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read crates/: {e}"))?;
+        let path = entry.path();
+        if path.join("Cargo.toml").is_file() {
+            members.push(path);
+        }
+    }
+    members.sort();
+    for member in members {
+        let name = member
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("non-UTF-8 crate dir under {}", crates_dir.display()))?
+            .to_string();
+        packages.push((name, member));
+    }
+
+    let mut files = Vec::new();
+    for (crate_name, pkg_root) in packages {
+        for (dir, kind) in [
+            ("src", FileKind::Lib),
+            ("tests", FileKind::Test),
+            ("benches", FileKind::Bench),
+            ("examples", FileKind::Example),
+        ] {
+            let dir_path = pkg_root.join(dir);
+            if !dir_path.is_dir() {
+                continue;
+            }
+            let mut rs_files = Vec::new();
+            collect_rs(&dir_path, &mut rs_files)?;
+            rs_files.sort();
+            for abs in rs_files {
+                let rel = abs
+                    .strip_prefix(root)
+                    .map_err(|_| format!("{} escapes the workspace root", abs.display()))?
+                    .to_path_buf();
+                let kind = refine_kind(kind, &rel);
+                let is_crate_root = kind == FileKind::Lib
+                    && abs.file_name().is_some_and(|n| n == "lib.rs")
+                    && abs.parent() == Some(dir_path.as_path());
+                let source = std::fs::read_to_string(&abs)
+                    .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+                files.push(SourceFile::parse(
+                    rel,
+                    crate_name.clone(),
+                    kind,
+                    is_crate_root,
+                    &source,
+                ));
+            }
+        }
+    }
+    Ok(files)
+}
+
+/// Recursively gathers `.rs` files under `dir`, skipping fixture trees.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            // Lint fixtures are deliberate violations; don't lint them.
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Demotes `src/bin/**` and `src/main.rs` from [`FileKind::Lib`] to
+/// [`FileKind::Bin`].
+fn refine_kind(kind: FileKind, rel: &Path) -> FileKind {
+    if kind != FileKind::Lib {
+        return kind;
+    }
+    let mut components = rel.components().rev();
+    let file = components.next();
+    let parent = components.next();
+    let is_bin_dir = parent.is_some_and(|c| c.as_os_str() == "bin");
+    let is_main = file.is_some_and(|c| c.as_os_str() == "main.rs");
+    if is_bin_dir || is_main {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}

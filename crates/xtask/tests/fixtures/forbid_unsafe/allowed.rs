@@ -1,0 +1,4 @@
+//! Fixture: a crate that genuinely needs `unsafe` opts out in writing.
+// lint:allow(forbid-unsafe, this crate will wrap mmap for zero-copy index loads; its unsafe is audited and gated behind deny(unsafe_op_in_unsafe_fn))
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root pinning the unsafe-free state.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

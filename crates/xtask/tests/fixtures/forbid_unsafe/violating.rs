@@ -1,0 +1,3 @@
+//! Fixture: a crate root that forgot to lock out `unsafe`.
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! Fixture: a justified panic — propagating a worker's own panic.
+pub fn join_worker(h: std::thread::JoinHandle<u32>) -> u32 {
+    // lint:allow(no-panic-in-lib, join only errs when the worker itself panicked; re-raising it is the correct propagation)
+    h.join().expect("worker panicked")
+}

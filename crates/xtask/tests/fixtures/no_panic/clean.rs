@@ -1,0 +1,19 @@
+//! Fixture: total library code — panics only in tests, and `unwrap_or`
+//! family calls are not flagged.
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn head_or_zero(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_idiomatic_in_tests() {
+        assert_eq!(super::head(&[1]).unwrap(), 1);
+        let s = "panic! text inside a string is not code";
+        assert!(s.contains("panic!"));
+    }
+}

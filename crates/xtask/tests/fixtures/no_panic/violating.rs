@@ -1,0 +1,12 @@
+//! Fixture: partial-function escapes in library code.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("a number")
+}
+
+pub fn unfinished() -> u32 {
+    unimplemented!("later")
+}

@@ -1,0 +1,7 @@
+//! Fixture: an order-independent reduction, justified in writing.
+use std::collections::HashMap;
+
+pub fn total_entries(buckets: &HashMap<u64, Vec<u32>>) -> usize {
+    // lint:allow(nondeterministic-iter, sum over bucket sizes is an order-independent reduction)
+    buckets.values().map(Vec::len).sum()
+}

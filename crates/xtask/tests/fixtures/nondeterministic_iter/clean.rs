@@ -1,0 +1,13 @@
+//! Fixture: hash-keyed collections used without iterating them (inserts,
+//! membership, length) — the discipline the lint enforces.
+pub fn count_distinct(xs: &[u64]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}
+
+pub fn sizes_in_key_order(keyed: &std::collections::BTreeMap<u64, Vec<u32>>) -> Vec<usize> {
+    keyed.values().map(Vec::len).collect()
+}

@@ -1,0 +1,14 @@
+//! Fixture: iterating hash-keyed collections in a result-producing crate.
+use std::collections::HashMap;
+
+pub fn bucket_sizes(buckets: &HashMap<u64, Vec<u32>>) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (_k, v) in buckets {
+        out.push(v.len());
+    }
+    out
+}
+
+pub fn first_key(index: &HashMap<u64, u32>) -> Option<u64> {
+    index.keys().next().copied()
+}

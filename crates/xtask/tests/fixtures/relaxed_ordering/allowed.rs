@@ -1,0 +1,7 @@
+//! Fixture: the lint:allow spelling of the same escape.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn next_ticket(cursor: &AtomicUsize) -> usize {
+    // lint:allow(relaxed-ordering-justified, claim ticket only; ordering cannot change observable results)
+    cursor.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,13 @@
+//! Fixture: every weak ordering argues its own soundness.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn next_ticket(cursor: &AtomicUsize) -> usize {
+    // Relaxed is sound: the cursor is only a work-claim ticket; fetch_add
+    // is atomic under any ordering and no other memory is published
+    // through this counter.
+    cursor.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn strict_ticket(cursor: &AtomicUsize) -> usize {
+    cursor.fetch_add(1, Ordering::SeqCst)
+}

@@ -1,0 +1,10 @@
+//! Fixture: weak atomic orderings with no written justification.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn next_ticket(cursor: &AtomicUsize) -> usize {
+    cursor.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn swap_flag(word: &AtomicUsize) -> usize {
+    word.swap(1, Ordering::AcqRel)
+}

@@ -1,0 +1,7 @@
+//! Fixture: a justified ambient read (e.g. an opt-in debug trace).
+use std::time::Instant;
+
+pub fn trace_stamp() -> u128 {
+    // lint:allow(wall-clock-free-query-path, debug-trace timestamp only; the value never flows into candidate selection or ordering)
+    Instant::now().elapsed().as_millis()
+}

@@ -1,0 +1,4 @@
+//! Fixture: answers are pure functions of (index, query).
+pub fn verify(candidate: u64, threshold: u64) -> bool {
+    candidate >= threshold
+}

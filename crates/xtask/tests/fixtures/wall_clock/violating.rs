@@ -1,0 +1,15 @@
+//! Fixture: ambient time / per-process hash seeds on the query path.
+
+pub fn probe_deadline_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}
+
+pub fn stamp_is_recent() -> bool {
+    let _ = std::time::SystemTime::now();
+    true
+}
+
+pub fn seed_dependent_len() -> usize {
+    let s = std::collections::hash_map::RandomState::new();
+    std::mem::size_of_val(&s)
+}

@@ -1,0 +1,339 @@
+//! Fixture-driven self-tests for every skewcheck lint.
+//!
+//! Each lint has a fixture triple under `tests/fixtures/<lint>/`:
+//! `violating.rs` (must produce exactly the asserted diagnostic lines),
+//! `clean.rs` (must produce none), and `allowed.rs` (violating code made
+//! clean by a `lint:allow(<lint>, <reason>)` annotation). The fixtures are
+//! lexed through the same [`SourceFile::parse`] path the workspace walker
+//! uses; only the metadata (crate, target kind, path) is fabricated so each
+//! lint sees itself as in scope.
+
+use std::path::Path;
+
+use xtask::{lint_files, FileKind, SourceFile};
+
+/// Reads `tests/fixtures/<dir>/<name>`.
+fn fixture(dir: &str, name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(dir)
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lints one fabricated file and renders the diagnostics.
+fn run(
+    path: &str,
+    crate_name: &str,
+    kind: FileKind,
+    is_crate_root: bool,
+    source: &str,
+) -> Vec<String> {
+    let file = SourceFile::parse(path, crate_name, kind, is_crate_root, source);
+    lint_files(std::slice::from_ref(&file))
+        .iter()
+        .map(|d| d.to_string())
+        .collect()
+}
+
+/// Shorthand for the common case: a library file in `core`.
+fn run_core_lib(dir: &str, name: &str) -> Vec<String> {
+    let source = fixture(dir, name);
+    run(
+        &format!("crates/core/src/{name}"),
+        "core",
+        FileKind::Lib,
+        false,
+        &source,
+    )
+}
+
+#[test]
+fn nondeterministic_iter_flags_map_iteration() {
+    let got = run_core_lib("nondeterministic_iter", "violating.rs");
+    let expect = vec![
+        "crates/core/src/violating.rs:6: [nondeterministic-iter] iteration over hash-keyed \
+         collection `buckets` has nondeterministic order in a result-producing crate; sort \
+         the output or justify with lint:allow(nondeterministic-iter, <reason>)"
+            .to_string(),
+        "crates/core/src/violating.rs:13: [nondeterministic-iter] iteration over hash-keyed \
+         collection `index` has nondeterministic order in a result-producing crate; sort \
+         the output or justify with lint:allow(nondeterministic-iter, <reason>)"
+            .to_string(),
+    ];
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn nondeterministic_iter_passes_clean_and_allowed() {
+    assert_eq!(
+        run_core_lib("nondeterministic_iter", "clean.rs"),
+        [] as [String; 0]
+    );
+    assert_eq!(
+        run_core_lib("nondeterministic_iter", "allowed.rs"),
+        [] as [String; 0]
+    );
+}
+
+#[test]
+fn nondeterministic_iter_only_applies_to_result_crates() {
+    let source = fixture("nondeterministic_iter", "violating.rs");
+    // Same code in a non-result crate (datagen) or a test target is out of
+    // scope for this lint.
+    assert_eq!(
+        run(
+            "crates/datagen/src/violating.rs",
+            "datagen",
+            FileKind::Lib,
+            false,
+            &source
+        ),
+        [] as [String; 0]
+    );
+    assert_eq!(
+        run(
+            "crates/core/tests/violating.rs",
+            "core",
+            FileKind::Test,
+            false,
+            &source
+        ),
+        [] as [String; 0]
+    );
+}
+
+#[test]
+fn relaxed_ordering_flags_unjustified_weak_orderings() {
+    let got = run_core_lib("relaxed_ordering", "violating.rs");
+    let expect = vec![
+        "crates/core/src/violating.rs:5: [relaxed-ordering-justified] `Ordering::Relaxed` \
+         without an adjacent justification; add a comment on this line or the line above \
+         arguing why the weak ordering cannot change observable results"
+            .to_string(),
+        "crates/core/src/violating.rs:9: [relaxed-ordering-justified] `Ordering::AcqRel` \
+         without an adjacent justification; add a comment on this line or the line above \
+         arguing why the weak ordering cannot change observable results"
+            .to_string(),
+    ];
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn relaxed_ordering_passes_clean_and_allowed() {
+    assert_eq!(
+        run_core_lib("relaxed_ordering", "clean.rs"),
+        [] as [String; 0]
+    );
+    assert_eq!(
+        run_core_lib("relaxed_ordering", "allowed.rs"),
+        [] as [String; 0]
+    );
+}
+
+#[test]
+fn no_panic_flags_partial_functions_in_lib_code() {
+    let got = run_core_lib("no_panic", "violating.rs");
+    let expect = vec![
+        "crates/core/src/violating.rs:3: [no-panic-in-lib] `.unwrap(...)` can panic in \
+         library code; return the error, prove the invariant with an assert, or justify \
+         with lint:allow(no-panic-in-lib, <reason>)"
+            .to_string(),
+        "crates/core/src/violating.rs:7: [no-panic-in-lib] `.expect(...)` can panic in \
+         library code; return the error, prove the invariant with an assert, or justify \
+         with lint:allow(no-panic-in-lib, <reason>)"
+            .to_string(),
+        "crates/core/src/violating.rs:11: [no-panic-in-lib] `unimplemented!(...)` can panic \
+         in library code; return the error, prove the invariant with an assert, or justify \
+         with lint:allow(no-panic-in-lib, <reason>)"
+            .to_string(),
+    ];
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn no_panic_passes_clean_and_allowed() {
+    // clean.rs includes an `unwrap()` inside `#[cfg(test)]` and an
+    // `unwrap_or` call — both must stay silent.
+    assert_eq!(run_core_lib("no_panic", "clean.rs"), [] as [String; 0]);
+    assert_eq!(run_core_lib("no_panic", "allowed.rs"), [] as [String; 0]);
+}
+
+#[test]
+fn no_panic_skips_tests_benches_examples_and_bins() {
+    let source = fixture("no_panic", "violating.rs");
+    for (path, kind) in [
+        ("crates/core/tests/t.rs", FileKind::Test),
+        ("crates/bench/benches/b.rs", FileKind::Bench),
+        ("examples/e.rs", FileKind::Example),
+        ("crates/experiments/src/bin/repro.rs", FileKind::Bin),
+    ] {
+        assert_eq!(
+            run(path, "core", kind, false, &source),
+            [] as [String; 0],
+            "{path}"
+        );
+    }
+}
+
+#[test]
+fn forbid_unsafe_requires_the_attribute_on_crate_roots() {
+    let source = fixture("forbid_unsafe", "violating.rs");
+    let got = run(
+        "crates/core/src/lib.rs",
+        "core",
+        FileKind::Lib,
+        true,
+        &source,
+    );
+    let expect = vec![
+        "crates/core/src/lib.rs:1: [forbid-unsafe] crate root is missing \
+         `#![forbid(unsafe_code)]`; the workspace is unsafe-free and every root pins that \
+         — opt out (and say why) with a file-level lint:allow(forbid-unsafe, <reason>)"
+            .to_string(),
+    ];
+    assert_eq!(got, expect);
+    // The same file not as a crate root is out of scope.
+    assert_eq!(
+        run(
+            "crates/core/src/other.rs",
+            "core",
+            FileKind::Lib,
+            false,
+            &source
+        ),
+        [] as [String; 0]
+    );
+}
+
+#[test]
+fn forbid_unsafe_passes_clean_and_allowed() {
+    let clean = fixture("forbid_unsafe", "clean.rs");
+    let allowed = fixture("forbid_unsafe", "allowed.rs");
+    assert_eq!(
+        run(
+            "crates/core/src/lib.rs",
+            "core",
+            FileKind::Lib,
+            true,
+            &clean
+        ),
+        [] as [String; 0]
+    );
+    assert_eq!(
+        run(
+            "crates/core/src/lib.rs",
+            "core",
+            FileKind::Lib,
+            true,
+            &allowed
+        ),
+        [] as [String; 0]
+    );
+}
+
+#[test]
+fn wall_clock_flags_ambient_sources_on_the_query_path() {
+    let source = fixture("wall_clock", "violating.rs");
+    let got = run(
+        "crates/core/src/engine.rs",
+        "core",
+        FileKind::Lib,
+        false,
+        &source,
+    );
+    let expect = vec![
+        "crates/core/src/engine.rs:4: [wall-clock-free-query-path] `Instant::now` on the \
+         query path makes answers depend on time or per-process hash seeds; move timing to \
+         benches/experiments or justify with lint:allow(wall-clock-free-query-path, <reason>)"
+            .to_string(),
+        "crates/core/src/engine.rs:8: [wall-clock-free-query-path] `SystemTime` on the \
+         query path makes answers depend on time or per-process hash seeds; move timing to \
+         benches/experiments or justify with lint:allow(wall-clock-free-query-path, <reason>)"
+            .to_string(),
+        "crates/core/src/engine.rs:13: [wall-clock-free-query-path] `RandomState` on the \
+         query path makes answers depend on time or per-process hash seeds; move timing to \
+         benches/experiments or justify with lint:allow(wall-clock-free-query-path, <reason>)"
+            .to_string(),
+    ];
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn wall_clock_scopes_to_the_five_query_modules() {
+    let source = fixture("wall_clock", "violating.rs");
+    // scheme.rs is core but not on the query path; experiments time freely.
+    assert_eq!(
+        run(
+            "crates/core/src/scheme.rs",
+            "core",
+            FileKind::Lib,
+            false,
+            &source
+        ),
+        [] as [String; 0]
+    );
+    assert_eq!(
+        run(
+            "crates/experiments/src/scaling.rs",
+            "experiments",
+            FileKind::Lib,
+            false,
+            &source
+        ),
+        [] as [String; 0]
+    );
+}
+
+#[test]
+fn wall_clock_passes_clean_and_allowed() {
+    let clean = fixture("wall_clock", "clean.rs");
+    let allowed = fixture("wall_clock", "allowed.rs");
+    assert_eq!(
+        run(
+            "crates/core/src/batch.rs",
+            "core",
+            FileKind::Lib,
+            false,
+            &clean
+        ),
+        [] as [String; 0]
+    );
+    assert_eq!(
+        run(
+            "crates/core/src/plan.rs",
+            "core",
+            FileKind::Lib,
+            false,
+            &allowed
+        ),
+        [] as [String; 0]
+    );
+}
+
+#[test]
+fn malformed_or_unknown_allow_annotations_are_reported() {
+    let source =
+        "pub fn f() {}\n// lint:allow(no-panic-in-lib)\n// lint:allow(not-a-lint, reason)\n";
+    let got = run("crates/core/src/x.rs", "core", FileKind::Lib, false, source);
+    assert_eq!(got.len(), 2, "{got:?}");
+    assert!(got[0].contains("[lint-allow-syntax]") && got[0].contains("missing a reason"));
+    assert!(got[1].contains("[lint-allow-syntax]") && got[1].contains("unknown lint `not-a-lint`"));
+}
+
+/// The gate the CI job enforces: the real tree is clean. Running it here
+/// too means a violation fails `cargo test` before CI ever sees it.
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = xtask::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "skewcheck found violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

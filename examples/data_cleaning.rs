@@ -12,6 +12,10 @@
 //! cargo run --release --example data_cleaning
 //! ```
 
+// Examples report wall-clock timings to the console by design; the
+// disallowed-methods ban protects library code, not demo output.
+#![allow(clippy::disallowed_methods)]
+
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use skewsearch::baselines::{BruteForce, PrefixFilterIndex};
 use skewsearch::core::{

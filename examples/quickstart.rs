@@ -5,6 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples report wall-clock timings to the console by design; the
+// disallowed-methods ban protects library code, not demo output.
+#![allow(clippy::disallowed_methods)]
+
 use rand::{rngs::StdRng, SeedableRng};
 use skewsearch::baselines::BruteForce;
 use skewsearch::core::{CorrelatedIndex, CorrelatedParams, SetSimilaritySearch};

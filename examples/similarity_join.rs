@@ -9,6 +9,10 @@
 //! cargo run --release --example similarity_join
 //! ```
 
+// Examples report wall-clock timings to the console by design; the
+// disallowed-methods ban protects library code, not demo output.
+#![allow(clippy::disallowed_methods)]
+
 use rand::{rngs::StdRng, SeedableRng};
 use skewsearch::core::{CorrelatedIndex, CorrelatedParams, IndexOptions, SetSimilaritySearch};
 use skewsearch::datagen::{correlated_query, BernoulliProfile, Dataset};

@@ -42,6 +42,8 @@
 //! assert!(hit.is_some());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use skewsearch_baselines as baselines;
 pub use skewsearch_core as core;
 pub use skewsearch_datagen as datagen;
