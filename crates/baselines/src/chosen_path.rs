@@ -181,6 +181,25 @@ impl SetSimilaritySearch for ChosenPathIndex {
     fn search_batch_best(&self, queries: &[SparseVec]) -> Vec<Option<Match>> {
         self.inner.search_batch_best(queries)
     }
+    /// Mutable: Chosen Path rides on the shared LSF engine, so it inherits
+    /// the log-structured insert/remove for free (the paper's frozen-index
+    /// baselines that do *not* — brute force, prefix filtering, MinHash —
+    /// keep the read-only default).
+    fn insert(
+        &mut self,
+        set: SparseVec,
+    ) -> Result<skewsearch_core::SetId, skewsearch_core::MutationError> {
+        self.inner.insert(set)
+    }
+    fn remove(
+        &mut self,
+        id: skewsearch_core::SetId,
+    ) -> Result<bool, skewsearch_core::MutationError> {
+        self.inner.remove(id)
+    }
+    fn supports_mutation(&self) -> bool {
+        true
+    }
     fn threshold(&self) -> f64 {
         self.inner.threshold()
     }
@@ -207,6 +226,9 @@ impl skewsearch_core::Shardable for ChosenPathIndex {
     }
     fn partition_key(&self, id: u32) -> u64 {
         skewsearch_core::set_partition_key(&self.inner.vectors()[id as usize])
+    }
+    fn slot_count(&self) -> usize {
+        self.inner.slot_count()
     }
 }
 

@@ -10,6 +10,13 @@
 //! Results are returned **in input order regardless of thread count**, so a
 //! batched call is observably identical to the sequential loop — the
 //! invariant `tests/batch_equivalence.rs` pins down.
+//!
+//! Batches and mutations compose by exclusion, not interleaving: the
+//! executor borrows the index shared (`&self`) for the whole batch, so the
+//! borrow checker statically rules out a concurrent `insert`/`remove` —
+//! every batch observes one frozen snapshot of a (possibly mutated) index,
+//! and `tests/mutation_equivalence.rs` checks batched answers against that
+//! snapshot's rebuild.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -191,6 +191,19 @@ impl SetSimilaritySearch for CorrelatedIndex {
     fn search_batch_best(&self, queries: &[SparseVec]) -> Vec<Option<Match>> {
         self.inner.search_batch_best(queries)
     }
+    /// Mutable: delegates to the inner LSF index's log-structured insert.
+    fn insert(
+        &mut self,
+        set: SparseVec,
+    ) -> Result<crate::traits::SetId, crate::traits::MutationError> {
+        self.inner.insert(set)
+    }
+    fn remove(&mut self, id: crate::traits::SetId) -> Result<bool, crate::traits::MutationError> {
+        self.inner.remove(id)
+    }
+    fn supports_mutation(&self) -> bool {
+        true
+    }
     fn threshold(&self) -> f64 {
         self.inner.threshold()
     }
@@ -219,6 +232,9 @@ impl crate::shard::Shardable for CorrelatedIndex {
     }
     fn partition_key(&self, id: u32) -> u64 {
         crate::shard::set_partition_key(&self.inner.vectors()[id as usize])
+    }
+    fn slot_count(&self) -> usize {
+        self.inner.slot_count()
     }
 }
 

@@ -42,6 +42,13 @@ static ENUMERATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64
 /// a single relaxed atomic increment per enumeration, negligible next to the
 /// DFS it counts. It is process-global and monotone — measure *deltas*, and
 /// serialize measured regions against other enumerating threads.
+///
+/// Incremental mutations are counted too: one
+/// [`crate::LsfIndex::insert_set`] enumerates the new set once per
+/// repetition (`R` increments — the same as that vector would cost inside a
+/// build), removals and [`crate::LsfIndex::compact`] enumerate **nothing**,
+/// and queries after mutations still cost exactly `R` at any shard count
+/// (also pinned by `tests/enumeration_count.rs`).
 pub fn enumeration_count() -> u64 {
     // Relaxed is sound: the counter is a monotone statistic read for its
     // value alone — no other memory is published through it, and callers

@@ -77,6 +77,13 @@ pub struct IndexOptions {
     /// results are **identical** for any worker count — see
     /// [`crate::batch::batch_map`].
     pub query_threads: usize,
+    /// How many pending mutations (inserts + removals since the last
+    /// compaction) the delta segment absorbs before the index compacts
+    /// itself — see [`LsfIndex::compact`]. Compaction is answer-invariant,
+    /// so this knob trades write amortization against probe-time delta
+    /// lookups without observable effect; `usize::MAX` disables automatic
+    /// compaction entirely.
+    pub mutation_buffer: usize,
 }
 
 impl Default for IndexOptions {
@@ -86,6 +93,7 @@ impl Default for IndexOptions {
             node_budget: DEFAULT_NODE_BUDGET,
             build_threads: 1,
             query_threads: 0,
+            mutation_buffer: 1024,
         }
     }
 }
@@ -132,10 +140,20 @@ pub struct QueryStats {
 
 /// One repetition: an independently drawn hash stack, its key interner, and
 /// its inverted index over interned 64-bit bucket keys.
+///
+/// The inverted index is log-structured: `buckets` is the immutable **base
+/// segment** (filled at build time or by [`LsfIndex::compact`]) and `delta`
+/// is the small mutable segment absorbing incremental inserts. A probe walks
+/// the base bucket for a key, then the delta bucket. Every id in `delta`
+/// exceeds every id in `buckets` (inserts are assigned ids past
+/// `LsfIndex::base_len`), so the concatenated walk visits ids in exactly the
+/// ascending order a from-scratch build over the same sets would store —
+/// which is what keeps mutated answers byte-identical to a rebuild.
 struct Repetition {
     hashers: PathHasherStack,
     interner: TabulationU128,
     buckets: FxHashMap<u64, Vec<u32>>,
+    delta: FxHashMap<u64, Vec<u32>>,
 }
 
 /// The probe stage for one pass, shared by the fused and the planned query
@@ -158,7 +176,14 @@ fn probe_pass_keys(
     stats.repetitions_probed += 1;
     stats.filters += keys.len();
     for (step, key) in keys.iter().enumerate() {
-        if let Some(bucket) = rep.buckets.get(key) {
+        // Base segment first, then the delta segment: delta ids all exceed
+        // base ids, so this is ascending-id order — the order a rebuild
+        // would store (see [`Repetition`]).
+        // lint:allow(nondeterministic-iter, this loop walks a two-element array of keyed `get` lookups — base then delta, a fixed order — not the map's own iteration order)
+        for bucket in [rep.buckets.get(key), rep.delta.get(key)]
+            .into_iter()
+            .flatten()
+        {
             stats.candidates += bucket.len();
             for &id in bucket {
                 if seen.insert(id) {
@@ -254,6 +279,22 @@ pub struct LsfIndex<S: ThresholdScheme> {
     node_budget: usize,
     query_threads: usize,
     build_stats: BuildStats,
+    /// Slots `0..base_len` live in the base segments; slots `base_len..`
+    /// were inserted since the last compaction and live in the deltas.
+    base_len: usize,
+    /// Liveness per slot; `false` = tombstoned (filtered at the single
+    /// [`LsfIndex::verified`] site). Slots are never reused.
+    alive: Vec<bool>,
+    /// Count of `true` entries in `alive` — the trait's `len()`.
+    live: usize,
+    /// Mutations (inserts + removals) since the last compaction.
+    pending: usize,
+    /// Auto-compaction threshold ([`IndexOptions::mutation_buffer`]).
+    mutation_buffer: usize,
+    /// Compactions performed so far (observable via
+    /// [`LsfIndex::compaction_count`]; tests pin that compaction timing is
+    /// answer-invariant).
+    compactions: u64,
 }
 
 impl<S: ThresholdScheme> LsfIndex<S> {
@@ -350,6 +391,7 @@ impl<S: ThresholdScheme> LsfIndex<S> {
                 hashers,
                 interner,
                 buckets,
+                delta: FxHashMap::default(),
             });
         }
         build_stats.truncated_vectors = truncated.len();
@@ -364,6 +406,12 @@ impl<S: ThresholdScheme> LsfIndex<S> {
             node_budget: options.node_budget,
             query_threads: options.query_threads,
             build_stats,
+            base_len: n,
+            alive: vec![true; n],
+            live: n,
+            pending: 0,
+            mutation_buffer: options.mutation_buffer,
+            compactions: 0,
         }
     }
 
@@ -531,10 +579,16 @@ impl<S: ThresholdScheme> LsfIndex<S> {
         stats
     }
 
-    /// Verifies candidate `id` against `q`: its [`Match`] iff the similarity
-    /// clears the index's threshold. Stage 3's single verification site,
-    /// shared by every search/probe entry point.
+    /// Verifies candidate `id` against `q`: its [`Match`] iff the slot is
+    /// live and the similarity clears the index's threshold. Stage 3's
+    /// single verification site, shared by every search/probe entry point —
+    /// which makes it the single place tombstones are filtered: a removed
+    /// set may still be probed out of a stale bucket, but it can never be
+    /// answered.
     fn verified(&self, q: &SparseVec, id: u32) -> Option<Match> {
+        if !self.alive[id as usize] {
+            return None;
+        }
         let sim = similarity::braun_blanquet(&self.vectors[id as usize], q);
         (sim >= self.verify_threshold).then_some(Match {
             id: id as usize,
@@ -597,6 +651,139 @@ impl<S: ThresholdScheme> LsfIndex<S> {
         self.reps.len()
     }
 
+    /// Incrementally indexes `set` in the delta segments and returns its
+    /// slot id (the infallible core of [`SetSimilaritySearch::insert`]).
+    ///
+    /// Enumerates `F(set)` once per repetition with the index's **existing**
+    /// hash stacks — exactly the work one vector costs at build time — and
+    /// appends the new id to each matching delta bucket. The id is
+    /// `slot_count()` before the call; ids ascend with insertion order and
+    /// are never reused. May trigger an automatic [`LsfIndex::compact`]
+    /// (answer-invariant) once [`IndexOptions::mutation_buffer`] mutations
+    /// have accumulated.
+    ///
+    /// After any interleaving of inserts and removals, every answer surface
+    /// is byte-identical to a freshly built index over the surviving sets
+    /// (under the monotone slot-id renumbering; pinned by
+    /// `tests/mutation_equivalence.rs`).
+    pub fn insert_set(&mut self, set: SparseVec) -> usize {
+        let id = self.vectors.len();
+        let mut filters: Vec<skewsearch_hashing::PathKey> = Vec::new();
+        let context =
+            EnumContext::new(&set, &self.profile, &self.scheme, self.scheme.depth_bound());
+        for rep in &mut self.reps {
+            filters.clear();
+            enumerate_filters_with(
+                &context,
+                &self.scheme,
+                &rep.hashers,
+                self.node_budget,
+                &mut filters,
+            );
+            for key in filters.iter().map(|k| rep.interner.hash(k.raw())) {
+                rep.delta.entry(key).or_default().push(id as u32);
+            }
+        }
+        self.vectors.push(set);
+        self.alive.push(true);
+        self.live += 1;
+        self.pending += 1;
+        self.maybe_compact();
+        id
+    }
+
+    /// Tombstones slot `id`: `true` iff a live set was removed (the
+    /// infallible core of [`SetSimilaritySearch::remove`]). Unassigned and
+    /// already-dead ids return `false`; removal never panics and a retired
+    /// id never comes back.
+    ///
+    /// The tombstone is honored immediately at the single verification
+    /// site (`verified`) — the dead set can still be *probed* (its bucket
+    /// entries linger until the next [`LsfIndex::compact`]) but can never
+    /// be answered.
+    pub fn remove_set(&mut self, id: usize) -> bool {
+        if id >= self.alive.len() || !self.alive[id] {
+            return false;
+        }
+        self.alive[id] = false;
+        self.live -= 1;
+        self.pending += 1;
+        self.maybe_compact();
+        true
+    }
+
+    /// Merges the delta segments into the base segments and prunes
+    /// tombstoned ids from every bucket. A no-op when nothing is pending.
+    ///
+    /// **Answer-invariant**: each bucket key is merged independently — base
+    /// survivors (ascending ids) followed by that key's delta ids (also
+    /// ascending, and all larger) — so the post-compaction walk order for
+    /// every key equals the pre-compaction walk order minus dead ids, which
+    /// the `verified` tombstone check was already filtering. Queries before
+    /// and after compaction answer byte-identically
+    /// (`tests/mutation_equivalence.rs` interleaves explicit compactions).
+    ///
+    /// Dead slots' vector payloads are released (slot ids are never reused,
+    /// so the slots themselves remain, empty).
+    pub fn compact(&mut self) {
+        if self.pending == 0 {
+            return;
+        }
+        let alive = &self.alive;
+        for rep in &mut self.reps {
+            // lint:allow(nondeterministic-iter, per-bucket tombstone pruning: each bucket is rewritten independently, so the map's visit order cannot affect the retained content)
+            rep.buckets.retain(|_, bucket| {
+                bucket.retain(|&id| alive[id as usize]);
+                !bucket.is_empty()
+            });
+            // lint:allow(nondeterministic-iter, per-key merge into the base segment: each key is merged independently, so the drain order cannot affect the resulting map)
+            for (key, mut ids) in rep.delta.drain() {
+                ids.retain(|&id| alive[id as usize]);
+                if !ids.is_empty() {
+                    rep.buckets.entry(key).or_default().extend(ids);
+                }
+            }
+        }
+        for (slot, &alive) in self.alive.iter().enumerate() {
+            if !alive {
+                self.vectors[slot] = SparseVec::empty();
+            }
+        }
+        self.base_len = self.vectors.len();
+        self.pending = 0;
+        self.compactions += 1;
+    }
+
+    /// Compacts iff the pending-mutation count has reached the buffer
+    /// threshold.
+    fn maybe_compact(&mut self) {
+        if self.pending >= self.mutation_buffer {
+            self.compact();
+        }
+    }
+
+    /// Total slots ever assigned (live + tombstoned). Slot ids returned by
+    /// [`LsfIndex::insert_set`] are always `< slot_count()`, and
+    /// [`Match::id`] values are slot ids.
+    pub fn slot_count(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Mutations (inserts + removals) absorbed since the last compaction.
+    pub fn pending_mutations(&self) -> usize {
+        self.pending
+    }
+
+    /// Compactions performed so far (automatic and explicit).
+    pub fn compaction_count(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Whether slot `id` currently holds a live set.
+    pub fn is_live(&self, id: usize) -> bool {
+        id < self.alive.len() && self.alive[id]
+    }
+
     /// Clones out a shard of this index owning the repetition slice
     /// `range` over the **full** dataset (the `ByRepetition` sharding
     /// primitive — see [`crate::shard`]). The shard's repetition `r` is
@@ -616,9 +803,19 @@ impl<S: ThresholdScheme> LsfIndex<S> {
                 hashers: rep.hashers.clone(),
                 interner: rep.interner.clone(),
                 buckets: rep.buckets.clone(),
+                delta: rep.delta.clone(),
             })
             .collect();
-        self.shard_from_reps(self.vectors.clone(), reps)
+        // Pass-slice shards keep the full dataset, so the parent's mutation
+        // state (tombstones, segment boundary, pending count) carries over
+        // verbatim.
+        self.shard_from_reps(
+            self.vectors.clone(),
+            reps,
+            self.alive.clone(),
+            self.base_len,
+            self.pending,
+        )
     }
 
     /// Clones out a shard owning only the vectors with the given **global**
@@ -639,31 +836,62 @@ impl<S: ThresholdScheme> LsfIndex<S> {
             .iter()
             .map(|&g| self.vectors[g as usize].clone())
             .collect();
+        let remap = |buckets: &FxHashMap<u64, Vec<u32>>| -> FxHashMap<u64, Vec<u32>> {
+            // lint:allow(nondeterministic-iter, filtering every bucket into a new map is a per-key transform — the resulting map does not depend on visit order)
+            buckets
+                .iter()
+                .filter_map(|(&key, bucket)| {
+                    crate::shard::remap_bucket(bucket, &local_of).map(|local| (key, local))
+                })
+                .collect()
+        };
         let reps: Vec<Repetition> = self
             .reps
             .iter()
             .map(|rep| Repetition {
                 hashers: rep.hashers.clone(),
                 interner: rep.interner.clone(),
-                buckets: rep
-                    .buckets
-                    .iter()
-                    .filter_map(|(&key, bucket)| {
-                        crate::shard::remap_bucket(bucket, &local_of).map(|local| (key, local))
-                    })
-                    .collect(),
+                buckets: remap(&rep.buckets),
+                delta: remap(&rep.delta),
             })
             .collect();
-        self.shard_from_reps(vectors, reps)
+        // Mutation state restricted to the shard's slots: liveness follows
+        // each global id; the local segment boundary is where the shard's
+        // ids cross the parent's (`ids` ascends, so partition_point finds
+        // it); the pending count is the shard's share of unpruned
+        // tombstones plus its delta entries — conservative is fine, the
+        // count only gates when compaction *may* run, never what it yields.
+        let alive: Vec<bool> = ids.iter().map(|&g| self.alive[g as usize]).collect();
+        let base_len = ids.partition_point(|&g| (g as usize) < self.base_len);
+        let pending = if self.pending == 0 {
+            0
+        } else {
+            let deltas: usize = reps
+                .iter()
+                // lint:allow(nondeterministic-iter, sum of delta-bucket sizes is an order-independent reduction)
+                .map(|r| r.delta.values().map(Vec::len).sum::<usize>())
+                .sum();
+            deltas + alive.iter().filter(|a| !**a).count()
+        };
+        self.shard_from_reps(vectors, reps, alive, base_len, pending)
     }
 
-    /// Assembles a shard from cloned repetitions, recomputing the storage
-    /// statistics (the per-vector truncation counters are a build-time
-    /// artifact of the parent and are zeroed in shards).
-    fn shard_from_reps(&self, vectors: Vec<SparseVec>, reps: Vec<Repetition>) -> Self
+    /// Assembles a shard from cloned repetitions plus its slice of the
+    /// parent's mutation state, recomputing the storage statistics (the
+    /// per-vector truncation counters are a build-time artifact of the
+    /// parent and are zeroed in shards).
+    fn shard_from_reps(
+        &self,
+        vectors: Vec<SparseVec>,
+        reps: Vec<Repetition>,
+        alive: Vec<bool>,
+        base_len: usize,
+        pending: usize,
+    ) -> Self
     where
         S: Clone,
     {
+        let live = alive.iter().filter(|a| **a).count();
         let build_stats = BuildStats {
             repetitions: reps.len(),
             total_filters: reps
@@ -690,6 +918,12 @@ impl<S: ThresholdScheme> LsfIndex<S> {
             node_budget: self.node_budget,
             query_threads: self.query_threads,
             build_stats,
+            base_len,
+            alive,
+            live,
+            pending,
+            mutation_buffer: self.mutation_buffer,
+            compactions: 0,
         }
     }
 }
@@ -788,12 +1022,32 @@ impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
         self.search_batch_best_threads(queries, self.query_threads)
     }
 
+    /// Infallible delegation to [`LsfIndex::insert_set`] — the LSF index is
+    /// mutable, per its `supports_mutation` contract.
+    fn insert(
+        &mut self,
+        set: SparseVec,
+    ) -> Result<crate::traits::SetId, crate::traits::MutationError> {
+        Ok(self.insert_set(set))
+    }
+
+    /// Infallible delegation to [`LsfIndex::remove_set`].
+    fn remove(&mut self, id: crate::traits::SetId) -> Result<bool, crate::traits::MutationError> {
+        Ok(self.remove_set(id))
+    }
+
+    fn supports_mutation(&self) -> bool {
+        true
+    }
+
     fn threshold(&self) -> f64 {
         self.verify_threshold
     }
 
+    /// Live sets only — tombstoned slots no longer count (see
+    /// [`LsfIndex::slot_count`] for the total).
     fn len(&self) -> usize {
-        self.vectors.len()
+        self.live
     }
 }
 
@@ -1076,6 +1330,182 @@ mod tests {
             SetSimilaritySearch::probe_plan_tagged(&shard, &plan),
             shard.search_all_tagged(&q)
         );
+    }
+
+    /// Builds over `vectors` with a dedicated RNG consumed *only* by the
+    /// build and a scheme calibrated to a fixed `n` — so two builds with the
+    /// same seed draw identical hash stacks and interners no matter how many
+    /// vectors each indexes. This is the rebuild oracle the mutation tests
+    /// compare against.
+    fn build_fixed(
+        vectors: Vec<SparseVec>,
+        profile: &BernoulliProfile,
+        mutation_buffer: usize,
+    ) -> LsfIndex<CorrelatedScheme> {
+        let scheme = CorrelatedScheme::new(0.8, 300, profile);
+        let mut rng = StdRng::seed_from_u64(0xB111D);
+        LsfIndex::build(
+            vectors,
+            profile.clone(),
+            scheme,
+            0.8 / 1.3,
+            IndexOptions {
+                repetitions: Repetitions::Fixed(5),
+                mutation_buffer,
+                ..IndexOptions::default()
+            },
+            &mut rng,
+        )
+    }
+
+    /// A mutated index and the from-scratch build over its survivors answer
+    /// byte-identically (under the monotone slot renumbering), and explicit
+    /// compaction at any point never changes an answer.
+    #[test]
+    fn mutated_index_answers_like_a_rebuild() {
+        let (ds, profile, _rng) = small_setup();
+        let mut index = build_fixed(ds.vectors()[..200].to_vec(), &profile, usize::MAX);
+        // Interleave: remove some build-time sets, insert some fresh ones.
+        for id in [3usize, 50, 51, 199, 0] {
+            assert!(index.remove_set(id));
+        }
+        for t in 200..230 {
+            assert_eq!(index.insert_set(ds.vector(t).clone()), t);
+        }
+        assert!(index.remove_set(210));
+        assert_eq!(index.len(), 200 - 5 + 30 - 1);
+        assert_eq!(index.slot_count(), 230);
+
+        // Survivors in ascending slot order + slot → compact-id map.
+        let survivors: Vec<usize> = (0..index.slot_count())
+            .filter(|&s| index.is_live(s))
+            .collect();
+        // Slot `s` always holds `ds.vector(s)`: build took 0..200, inserts
+        // appended 200..230 in order.
+        let vectors: Vec<SparseVec> = survivors.iter().map(|&s| ds.vector(s).clone()).collect();
+        let rebuilt = build_fixed(vectors, &profile, usize::MAX);
+        let compact_of: FxHashMap<usize, usize> =
+            survivors.iter().enumerate().map(|(c, &s)| (s, c)).collect();
+
+        let check = |index: &LsfIndex<CorrelatedScheme>| {
+            let mut rng = StdRng::seed_from_u64(7);
+            for t in 0..25 {
+                let q = correlated_query(ds.vector(t * 11 % 230), &profile, 0.8, &mut rng);
+                let got: Vec<(usize, f64)> = index
+                    .search_all(&q)
+                    .into_iter()
+                    .map(|m| (compact_of[&m.id], m.similarity))
+                    .collect();
+                let want: Vec<(usize, f64)> = rebuilt
+                    .search_all(&q)
+                    .into_iter()
+                    .map(|m| (m.id, m.similarity))
+                    .collect();
+                assert_eq!(got, want, "query {t}");
+                assert_eq!(
+                    index.search(&q).map(|m| (compact_of[&m.id], m.similarity)),
+                    rebuilt.search(&q).map(|m| (m.id, m.similarity)),
+                );
+            }
+        };
+        check(&index);
+        // Compaction is answer-invariant.
+        assert_eq!(index.compaction_count(), 0);
+        index.compact();
+        assert_eq!(index.compaction_count(), 1);
+        assert_eq!(index.pending_mutations(), 0);
+        check(&index);
+    }
+
+    #[test]
+    fn tombstoned_ids_are_probed_but_never_answered() {
+        let (ds, profile, _rng) = small_setup();
+        let mut index = build_fixed(ds.vectors()[..150].to_vec(), &profile, usize::MAX);
+        // Self-queries: every live vector finds itself at similarity 1.
+        let victim = 42usize;
+        let q = ds.vector(victim).clone();
+        assert!(index
+            .search_all(&q)
+            .iter()
+            .any(|m| m.id == victim && m.similarity == 1.0));
+        assert!(index.remove_set(victim));
+        // Still a candidate (its bucket entries linger until compaction) …
+        let (cands, _) = index.distinct_candidates(&q);
+        assert!(cands.contains(&(victim as u32)), "stale probe expected");
+        // … but never an answer, from any surface.
+        assert!(index.search_all(&q).iter().all(|m| m.id != victim));
+        assert!(index.search(&q).map(|m| m.id) != Some(victim));
+        let plan = index.plan_query(&q);
+        assert!(index.probe_plan(&plan).iter().all(|m| m.id != victim));
+        // After compaction the stale bucket entries are gone too.
+        index.compact();
+        let (cands, _) = index.distinct_candidates(&q);
+        assert!(!cands.contains(&(victim as u32)), "compaction prunes");
+        assert!(index.search_all(&q).iter().all(|m| m.id != victim));
+    }
+
+    #[test]
+    fn compact_on_clean_index_is_a_noop() {
+        let (ds, profile, _rng) = small_setup();
+        let mut index = build_fixed(ds.vectors()[..100].to_vec(), &profile, usize::MAX);
+        index.compact();
+        assert_eq!(index.compaction_count(), 0, "empty delta: no compaction");
+        // A mutate-compact cycle, then another explicit compact: also a noop.
+        let id = index.insert_set(ds.vector(100).clone());
+        assert!(index.remove_set(id));
+        index.compact();
+        assert_eq!(index.compaction_count(), 1);
+        index.compact();
+        assert_eq!(index.compaction_count(), 1, "nothing pending: no-op");
+    }
+
+    #[test]
+    fn auto_compaction_triggers_at_the_buffer_threshold() {
+        let (ds, profile, _rng) = small_setup();
+        let mut index = build_fixed(ds.vectors()[..100].to_vec(), &profile, 4);
+        assert_eq!(index.pending_mutations(), 0);
+        index.insert_set(ds.vector(100).clone());
+        index.insert_set(ds.vector(101).clone());
+        assert!(index.remove_set(3));
+        assert_eq!(index.pending_mutations(), 3);
+        assert_eq!(index.compaction_count(), 0);
+        index.insert_set(ds.vector(102).clone());
+        assert_eq!(index.compaction_count(), 1, "4th mutation compacts");
+        assert_eq!(index.pending_mutations(), 0);
+        assert!(!index.is_live(3));
+        assert!(index.is_live(102));
+    }
+
+    #[test]
+    fn mutation_bookkeeping_and_degenerate_removes() {
+        let (ds, profile, _rng) = small_setup();
+        let mut index = build_fixed(ds.vectors()[..50].to_vec(), &profile, usize::MAX);
+        assert!(index.supports_mutation());
+        // Ids are dense, monotone, and never reused.
+        assert_eq!(index.insert_set(ds.vector(50).clone()), 50);
+        assert!(index.remove_set(50));
+        assert_eq!(index.insert_set(ds.vector(50).clone()), 51, "no reuse");
+        // Removal is idempotent; unassigned ids are refused.
+        assert!(!index.remove_set(50), "already dead");
+        assert!(!index.remove_set(999), "never assigned");
+        assert_eq!(index.len(), 51);
+        assert_eq!(index.slot_count(), 52);
+        // Trait-level mutation is infallible here.
+        let via_trait = SetSimilaritySearch::insert(&mut index, ds.vector(51).clone());
+        assert_eq!(via_trait, Ok(52));
+        assert_eq!(SetSimilaritySearch::remove(&mut index, 52), Ok(true));
+        assert_eq!(SetSimilaritySearch::remove(&mut index, 52), Ok(false));
+        // Emptying the index entirely leaves a valid structure.
+        for id in 0..index.slot_count() {
+            let _ = index.remove_set(id);
+        }
+        assert_eq!(index.len(), 0);
+        assert!(index.is_empty());
+        let q = ds.vector(0).clone();
+        assert!(index.search(&q).is_none());
+        assert!(index.search_all(&q).is_empty());
+        index.compact();
+        assert!(index.search_all(&q).is_empty());
     }
 
     #[test]

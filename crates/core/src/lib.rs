@@ -90,4 +90,4 @@ pub use shard::{set_partition_key, ShardStrategy, Shardable, ShardedIndex};
 pub use split::{
     balance_split, balance_split_normalized, balanced_exponents, SplitIndex, SplitParams,
 };
-pub use traits::{Match, SetSimilaritySearch, TaggedMatch};
+pub use traits::{Match, MutationError, SetId, SetSimilaritySearch, TaggedMatch};

@@ -41,6 +41,15 @@ use skewsearch_sets::SparseVec;
 /// results to the fused search it was split out of,
 /// `index.probe_plan(&index.plan_query(q)) == index.search_all(q)`.
 ///
+/// Plans are additionally **mutation-invariant**: a plan depends only on
+/// the index's hash stacks, key interners, and scheme — never on its
+/// buckets or vectors — and incremental `insert`/`remove` touch none of
+/// those, so `plan_query(q)` returns the same plan before and after any
+/// mutation sequence, and a plan derived earlier stays valid (probing it
+/// simply sees the index's current contents). This is what keeps the
+/// sharded enumerate-once broadcast correct for mutated shards
+/// (`tests/enumeration_count.rs` pins the post-insert broadcast).
+///
 /// # Examples
 ///
 /// ```

@@ -77,7 +77,7 @@ use crate::batch::{batch_map, batch_map_chunked};
 use crate::index::LsfIndex;
 use crate::plan::QueryPlan;
 use crate::scheme::ThresholdScheme;
-use crate::traits::{Match, SetSimilaritySearch, TaggedMatch};
+use crate::traits::{Match, MutationError, SetId, SetSimilaritySearch, TaggedMatch};
 use skewsearch_hashing::{mix, FxHashSet};
 use skewsearch_sets::SparseVec;
 
@@ -121,6 +121,14 @@ pub trait Shardable: SetSimilaritySearch + Sized {
     /// Stable content-hash of the indexed vector `id`, used to assign it to
     /// a dataset shard. Equal sets always land in the same shard.
     fn partition_key(&self, id: u32) -> u64;
+
+    /// Total id slots ever assigned, live or not. For frozen structures this
+    /// is `len()` (the default); mutable structures report retired
+    /// (tombstoned) slots too, and [`ShardedIndex::build`] partitions *all*
+    /// of them so local/global id maps stay dense and monotone.
+    fn slot_count(&self) -> usize {
+        self.len()
+    }
 }
 
 /// Stable 64-bit content hash of a set, for dataset partitioning: mixes each
@@ -218,6 +226,14 @@ pub struct ShardedIndex<S> {
     strategy: ShardStrategy,
     threshold: f64,
     len: usize,
+    /// The next global [`SetId`] to hand out — starts at the source index's
+    /// slot count, so the wrapper assigns exactly the ids the unsharded
+    /// index would.
+    next_id: usize,
+    /// Global id → `(shard, local id)` under `ByDataset` (every slot, live
+    /// or tombstoned, lives in exactly one shard); empty under
+    /// `ByRepetition`, where ids are already global in every shard.
+    owner: Vec<(u32, u32)>,
     /// Workers for the per-query cross-shard fan-out (`0` = one per core).
     fanout_threads: usize,
     /// Workers for `search_batch` across queries (`0` = one per core).
@@ -241,6 +257,8 @@ impl<S: Shardable + Send + Sync> ShardedIndex<S> {
     /// Panics if `shards == 0`.
     pub fn build(index: &S, strategy: ShardStrategy, shards: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
+        let slot_count = index.slot_count();
+        let mut owner = Vec::new();
         let built = match strategy {
             ShardStrategy::ByRepetition => {
                 let passes = index.passes();
@@ -256,9 +274,18 @@ impl<S: Shardable + Send + Sync> ShardedIndex<S> {
                 })
             }
             ShardStrategy::ByDataset => {
+                // Every slot is routed, tombstoned ones included: that keeps
+                // each shard's local↔global map dense and monotone, so a
+                // mutated source index shards exactly like a frozen one.
                 let mut ids: Vec<Vec<u32>> = vec![Vec::new(); shards];
-                for id in 0..index.len() as u32 {
+                for id in 0..slot_count as u32 {
                     ids[(index.partition_key(id) % shards as u64) as usize].push(id);
+                }
+                owner = vec![(0, 0); slot_count];
+                for (shard_ix, ids) in ids.iter().enumerate() {
+                    for (local, &global) in ids.iter().enumerate() {
+                        owner[global as usize] = (shard_ix as u32, local as u32);
+                    }
                 }
                 batch_map_chunked(&ids, 0, 1, |ids| Shard {
                     index: index.shard_of_ids(ids),
@@ -272,6 +299,8 @@ impl<S: Shardable + Send + Sync> ShardedIndex<S> {
             strategy,
             threshold: index.threshold(),
             len: index.len(),
+            next_id: slot_count,
+            owner,
             fanout_threads: 0,
             query_threads: 0,
             plan_broadcast: true,
@@ -450,10 +479,91 @@ impl<S: Shardable + Send + Sync> SetSimilaritySearch for ShardedIndex<S> {
         })
     }
 
+    /// Routes the insert to its owning shard and assigns the exact global
+    /// [`SetId`] the unsharded index would: under `ByDataset` the new set
+    /// goes to the shard its content hash selects (the same routing
+    /// [`ShardedIndex::build`] uses, so duplicates still co-locate) and the
+    /// fresh global id is appended to that shard's id map (which stays
+    /// monotone — the merge protocol is untouched); under `ByRepetition`
+    /// every shard indexes the set under its own pass slice, so the total
+    /// enumeration work equals one unsharded insert.
+    ///
+    /// Errs with [`MutationError::Unsupported`] — before touching anything —
+    /// iff the underlying index type is read-only.
+    fn insert(&mut self, set: SparseVec) -> Result<SetId, MutationError> {
+        if !self.supports_mutation() {
+            return Err(MutationError::Unsupported);
+        }
+        let global = self.next_id;
+        match self.strategy {
+            ShardStrategy::ByDataset => {
+                let shard_ix = (set_partition_key(&set) % self.shards.len() as u64) as usize;
+                let shard = &mut self.shards[shard_ix];
+                let local = shard.index.insert(set)?;
+                if let Some(map) = shard.id_map.as_mut() {
+                    assert_eq!(local, map.len(), "shard-local ids must stay dense");
+                    map.push(global as u32);
+                }
+                self.owner.push((shard_ix as u32, local as u32));
+            }
+            ShardStrategy::ByRepetition => {
+                for shard in &mut self.shards {
+                    let local = shard.index.insert(set.clone())?;
+                    assert_eq!(local, global, "ByRepetition shard ids are global");
+                }
+            }
+        }
+        self.next_id += 1;
+        self.len += 1;
+        Ok(global)
+    }
+
+    /// Tombstones the set in whichever shard(s) hold it: the owner-table
+    /// lookup under `ByDataset`, a broadcast under `ByRepetition` (every
+    /// shard keeps its own liveness for the full dataset). Same semantics
+    /// as the unsharded remove: `Ok(false)` for unassigned or already-dead
+    /// ids, and ids are never reused.
+    fn remove(&mut self, id: SetId) -> Result<bool, MutationError> {
+        if !self.supports_mutation() {
+            return Err(MutationError::Unsupported);
+        }
+        let removed = match self.strategy {
+            ShardStrategy::ByDataset => {
+                if id >= self.owner.len() {
+                    false
+                } else {
+                    let (shard_ix, local) = self.owner[id];
+                    self.shards[shard_ix as usize]
+                        .index
+                        .remove(local as usize)?
+                }
+            }
+            ShardStrategy::ByRepetition => {
+                let mut removed = false;
+                for shard in &mut self.shards {
+                    // Every shard sees the same full-dataset liveness, so
+                    // each reports the same answer.
+                    removed = shard.index.remove(id)?;
+                }
+                removed
+            }
+        };
+        if removed {
+            self.len -= 1;
+        }
+        Ok(removed)
+    }
+
+    /// Mutable exactly when every shard's underlying index is.
+    fn supports_mutation(&self) -> bool {
+        self.shards.iter().all(|s| s.index.supports_mutation())
+    }
+
     fn threshold(&self) -> f64 {
         self.threshold
     }
 
+    /// Live sets only, kept in lockstep with the shards' own counts.
     fn len(&self) -> usize {
         self.len
     }
@@ -474,6 +584,10 @@ impl<S: ThresholdScheme + Clone> Shardable for LsfIndex<S> {
 
     fn partition_key(&self, id: u32) -> u64 {
         set_partition_key(&self.vectors()[id as usize])
+    }
+
+    fn slot_count(&self) -> usize {
+        LsfIndex::slot_count(self)
     }
 }
 
@@ -623,5 +737,129 @@ mod tests {
     fn zero_shards_panics() {
         let (index, _) = fixture(2);
         let _ = ShardedIndex::build(&index, ShardStrategy::ByRepetition, 0);
+    }
+
+    /// Fresh vectors (drawn apart from the fixture) to insert after build.
+    fn extra_vectors(n: usize) -> Vec<SparseVec> {
+        let profile = BernoulliProfile::two_block(500, 0.2, 0.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xFEED);
+        Dataset::generate(&profile, n, &mut rng).vectors().to_vec()
+    }
+
+    #[test]
+    fn mutated_sharded_equals_mutated_unsharded() {
+        let (mut index, queries) = fixture(5);
+        let extras = extra_vectors(30);
+        // Apply one mutation script to the unsharded index and to every
+        // sharded wrapper; all must agree on ids and on every answer.
+        let script = |target: &mut dyn FnMut(usize, Option<SparseVec>) -> usize| {
+            let mut ids = Vec::new();
+            for v in extras.iter().take(20) {
+                ids.push(target(usize::MAX, Some(v.clone())));
+            }
+            for id in [0usize, 7, 155, ids[0], ids[5]] {
+                target(id, None);
+            }
+            for v in extras.iter().skip(20) {
+                ids.push(target(usize::MAX, Some(v.clone())));
+            }
+        };
+        let mut apply_unsharded = |id: usize, set: Option<SparseVec>| -> usize {
+            match set {
+                Some(set) => index.insert_set(set),
+                None => {
+                    index.remove_set(id);
+                    id
+                }
+            }
+        };
+        script(&mut apply_unsharded);
+        for strategy in [ShardStrategy::ByRepetition, ShardStrategy::ByDataset] {
+            for shards in [1, 3, 8] {
+                let (fresh, _) = fixture(5);
+                let mut sharded = ShardedIndex::build(&fresh, strategy, shards);
+                assert!(sharded.supports_mutation());
+                let mut apply_sharded = |id: usize, set: Option<SparseVec>| -> usize {
+                    match set {
+                        Some(set) => sharded.insert(set).expect("LSF shards are mutable"),
+                        None => {
+                            sharded.remove(id).expect("LSF shards are mutable");
+                            id
+                        }
+                    }
+                };
+                script(&mut apply_sharded);
+                assert_eq!(sharded.len(), index.len(), "{strategy:?} {shards}");
+                for q in &queries {
+                    assert_eq!(
+                        sharded.search_all_tagged(q),
+                        index.search_all_tagged(q),
+                        "{strategy:?} shards={shards}"
+                    );
+                    assert_eq!(sharded.search(q), index.search(q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_insert_assigns_unsharded_ids_and_routes_by_content() {
+        let (index, _) = fixture(4);
+        let extras = extra_vectors(10);
+        for strategy in [ShardStrategy::ByRepetition, ShardStrategy::ByDataset] {
+            let mut sharded = ShardedIndex::build(&index, strategy, 4);
+            let before = sharded.len();
+            for (k, v) in extras.iter().enumerate() {
+                // Global ids continue exactly where the source index stopped.
+                assert_eq!(sharded.insert(v.clone()), Ok(index.len() + k));
+            }
+            assert_eq!(sharded.len(), before + extras.len());
+            // Duplicate content co-locates: inserting a copy of an indexed
+            // vector must land on the shard already holding it (ByDataset).
+            if strategy == ShardStrategy::ByDataset {
+                let lens_before = sharded.shard_lens();
+                let dup = index.vectors()[3].clone();
+                let expected_shard =
+                    (set_partition_key(&dup) % sharded.shard_count() as u64) as usize;
+                sharded.insert(dup).unwrap();
+                let lens_after = sharded.shard_lens();
+                for s in 0..sharded.shard_count() {
+                    let grew = usize::from(s == expected_shard);
+                    assert_eq!(lens_after[s], lens_before[s] + grew);
+                }
+            }
+            // Remove semantics mirror the unsharded index.
+            assert_eq!(sharded.remove(index.len()), Ok(true));
+            assert_eq!(sharded.remove(index.len()), Ok(false), "idempotent");
+            assert_eq!(sharded.remove(123_456), Ok(false), "never assigned");
+        }
+    }
+
+    #[test]
+    fn sharding_a_mutated_index_reproduces_its_answers() {
+        // Build shards FROM an already-mutated source: tombstoned slots and
+        // delta segments must survive both decompositions.
+        let (mut index, queries) = fixture(5);
+        let extras = extra_vectors(15);
+        for v in &extras {
+            index.insert_set(v.clone());
+        }
+        for id in [2usize, 90, 160, 165] {
+            assert!(index.remove_set(id));
+        }
+        assert!(index.pending_mutations() > 0);
+        for strategy in [ShardStrategy::ByRepetition, ShardStrategy::ByDataset] {
+            for shards in [1, 3, 8] {
+                let sharded = ShardedIndex::build(&index, strategy, shards);
+                assert_eq!(sharded.len(), index.len());
+                for q in &queries {
+                    assert_eq!(
+                        sharded.search_all_tagged(q),
+                        index.search_all_tagged(q),
+                        "{strategy:?} shards={shards}"
+                    );
+                }
+            }
+        }
     }
 }

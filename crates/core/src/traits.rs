@@ -4,6 +4,38 @@
 use crate::plan::QueryPlan;
 use skewsearch_sets::SparseVec;
 
+/// Stable identifier of an indexed set, as returned by
+/// [`SetSimilaritySearch::insert`] and consumed by
+/// [`SetSimilaritySearch::remove`].
+///
+/// For the mutable structures in this workspace a `SetId` is the set's slot
+/// in the index (the same value [`Match::id`] reports), it is assigned
+/// monotonically at insertion, and it is **never reused**: removing a set
+/// retires its id forever, and re-inserting identical content yields a fresh
+/// id.
+pub type SetId = usize;
+
+/// Why a mutation was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationError {
+    /// The structure is read-only: it does not support incremental
+    /// `insert`/`remove` (the trait defaults — brute force, prefix
+    /// filtering, and MinHash keep the frozen-snapshot model for now).
+    Unsupported,
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::Unsupported => {
+                write!(f, "this structure does not support incremental mutation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
 /// A verified search result.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Match {
@@ -256,10 +288,50 @@ pub trait SetSimilaritySearch {
         queries.iter().map(|q| self.search_best(q)).collect()
     }
 
+    /// Incrementally indexes `set`, returning its stable [`SetId`].
+    ///
+    /// The default is read-only: it returns
+    /// [`MutationError::Unsupported`] without touching the structure, so
+    /// baselines without an incremental build (brute force, prefix
+    /// filtering, MinHash) satisfy the trait unchanged. Mutable structures
+    /// ([`crate::LsfIndex`] and its wrappers, [`crate::shard::ShardedIndex`])
+    /// override it with the log-structured delta-segment insert.
+    ///
+    /// **Contract for overriders**: when
+    /// [`SetSimilaritySearch::supports_mutation`] returns `true`, `insert`
+    /// and [`SetSimilaritySearch::remove`] must be infallible (always `Ok`) —
+    /// the sharded wrapper fans one logical mutation out across shards and
+    /// relies on this to stay all-or-nothing. After any interleaving of
+    /// inserts, removes, and queries, every answer surface must be
+    /// byte-identical to a fresh build over the surviving sets (pinned by
+    /// `tests/mutation_equivalence.rs`).
+    fn insert(&mut self, set: SparseVec) -> Result<SetId, MutationError> {
+        let _ = set;
+        Err(MutationError::Unsupported)
+    }
+
+    /// Removes the set with id `id`. `Ok(true)` when a live set was removed,
+    /// `Ok(false)` when `id` was never assigned or was already removed —
+    /// removal is idempotent, and a retired id never comes back.
+    ///
+    /// Default: read-only, like [`SetSimilaritySearch::insert`].
+    fn remove(&mut self, id: SetId) -> Result<bool, MutationError> {
+        let _ = id;
+        Err(MutationError::Unsupported)
+    }
+
+    /// True when this structure supports incremental
+    /// [`SetSimilaritySearch::insert`]/[`SetSimilaritySearch::remove`]
+    /// (and guarantees they are infallible). Default: `false`.
+    fn supports_mutation(&self) -> bool {
+        false
+    }
+
     /// The verification threshold `b₁`.
     fn threshold(&self) -> f64;
 
-    /// Number of indexed vectors.
+    /// Number of **live** indexed vectors (for mutable structures, slots
+    /// retired by [`SetSimilaritySearch::remove`] no longer count).
     fn len(&self) -> usize;
 
     /// True iff no vectors are indexed.

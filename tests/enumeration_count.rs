@@ -96,6 +96,58 @@ fn by_dataset_enumerates_each_query_exactly_once_at_any_shard_count() {
         }
     }
 
+    // ---- Mutations keep the once-per-query contract ----
+    // One insert enumerates the new set's filters exactly once per
+    // repetition — R calls — while removal is tombstone-only and compaction
+    // reuses the stored keys: neither enumerates at all. With
+    // `mutation_buffer = 2` the remove below also crosses the auto-compaction
+    // threshold, so the zero-count covers compaction too.
+    let mut mutated = CorrelatedIndex::build(
+        &ds,
+        &profile,
+        CorrelatedParams::new(ALPHA)
+            .unwrap()
+            .with_options(IndexOptions {
+                repetitions: Repetitions::Fixed(REPS),
+                mutation_buffer: 2,
+                ..IndexOptions::default()
+            }),
+        &mut rng,
+    );
+    let (id, delta) = enumerations_during(|| mutated.insert(ds.vector(0).clone()));
+    assert_eq!(id, Ok(ds.n()));
+    assert_eq!(delta, REPS as u64, "insert enumerates once per repetition");
+    let (removed, delta) = enumerations_during(|| mutated.remove(3));
+    assert_eq!(removed, Ok(true));
+    assert_eq!(delta, 0, "remove + auto-compaction never enumerate");
+
+    // Inserting through a sharded wrapper costs exactly R as well:
+    // ByDataset routes the set to one shard (which pays its full R);
+    // ByRepetition fans it to every shard, whose disjoint pass slices sum
+    // to R. The regression this section pins: the plan broadcast still
+    // enumerates exactly once per query *after* the insert, with answers
+    // byte-identical to the mutated unsharded index.
+    let mut mirrors: Vec<(ShardStrategy, ShardedIndex<_>)> = Vec::new();
+    for strategy in [ShardStrategy::ByDataset, ShardStrategy::ByRepetition] {
+        let mut sharded = ShardedIndex::build(&mutated, strategy, 4);
+        let (res, delta) = enumerations_during(|| sharded.insert(ds.vector(1).clone()));
+        assert_eq!(res, Ok(ds.n() + 1), "{strategy:?}: sharded ids stay global");
+        assert_eq!(delta, REPS as u64, "{strategy:?}: sharded insert costs R");
+        mirrors.push((strategy, sharded));
+    }
+    assert_eq!(mutated.insert(ds.vector(1).clone()), Ok(ds.n() + 1));
+    for (strategy, sharded) in &mirrors {
+        for q in queries.iter().take(3) {
+            let (got, delta) = enumerations_during(|| sharded.search_all(q));
+            assert_eq!(got, mutated.search_all(q), "post-insert {strategy:?}");
+            assert_eq!(
+                delta, REPS as u64,
+                "post-insert broadcast still enumerates once, {strategy:?}"
+            );
+        }
+    }
+    drop(mirrors);
+
     // Joins: duplicate probe-side sets are answered once per *distinct*
     // query — 5 distinct queries repeated 3× each cost 5·R enumerations.
     let distinct: Vec<SparseVec> = queries[..5].to_vec();

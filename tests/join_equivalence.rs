@@ -13,6 +13,9 @@ use skewsearch::join::{
 };
 use skewsearch::sets::SparseVec;
 
+mod common;
+use common::thread_counts;
+
 fn setup(seed: u64) -> (Dataset, BernoulliProfile, Vec<SparseVec>, f64) {
     let profile = BernoulliProfile::two_block(1200, 0.2, 0.02).unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -144,6 +147,97 @@ fn duplicate_probe_sets_join_identically_through_bydataset_shards() {
             .collect::<Vec<_>>(),
         naive,
         "unsharded deduped join"
+    );
+}
+
+#[test]
+fn mutated_index_joins_like_its_rebuild_and_shards_exactly() {
+    // A join driven by a mutated (tombstoned + delta-segmented) index must
+    // equal the join driven by a from-scratch build over the survivors,
+    // under the monotone slot → compact-id renumbering — sequentially, on
+    // the parallel driver at every worker count, and through sharded
+    // mirrors under both strategies.
+    use skewsearch::core::{CorrelatedScheme, LsfIndex, ShardStrategy, ShardedIndex};
+    let (ds, profile, r, alpha) = setup(36);
+    // A deterministic builder: the RNG is consumed only by the build and the
+    // scheme is calibrated to a fixed n, so the rebuild over the survivors
+    // draws the same hash stacks (see tests/mutation_equivalence.rs).
+    let build = |vectors: Vec<SparseVec>| {
+        let mut rng = StdRng::seed_from_u64(0x10BB);
+        LsfIndex::build(
+            vectors,
+            profile.clone(),
+            CorrelatedScheme::new(alpha, 300, &profile),
+            alpha / 1.3,
+            IndexOptions {
+                repetitions: Repetitions::Fixed(8),
+                ..IndexOptions::default()
+            },
+            &mut rng,
+        )
+    };
+    let mut index = build(ds.vectors()[..260].to_vec());
+    for id in [5usize, 80, 259] {
+        assert!(index.remove_set(id));
+    }
+    for t in 260..300 {
+        index.insert_set(ds.vector(t).clone());
+    }
+    assert!(index.remove_set(271), "a fresh insert dies too");
+    let survivors: Vec<usize> = (0..index.slot_count())
+        .filter(|&s| index.is_live(s))
+        .collect();
+
+    let seq = similarity_join(&r, &index);
+    for threads in thread_counts() {
+        assert_eq!(
+            similarity_join_parallel(&r, &index, threads),
+            seq,
+            "threads={threads}"
+        );
+    }
+
+    // Rebuild oracle: same pairs, with s_id renumbered to compact ids.
+    let rebuilt = build(survivors.iter().map(|&s| ds.vector(s).clone()).collect());
+    let compact_of: std::collections::HashMap<usize, usize> =
+        survivors.iter().enumerate().map(|(c, &s)| (s, c)).collect();
+    let remapped: Vec<_> = seq
+        .iter()
+        .map(|p| (p.r_id, compact_of[&p.s_id], p.similarity))
+        .collect();
+    let oracle: Vec<_> = similarity_join(&r, &rebuilt)
+        .into_iter()
+        .map(|p| (p.r_id, p.s_id, p.similarity))
+        .collect();
+    assert_eq!(remapped, oracle, "mutated join != rebuilt join");
+
+    // Sharded mirrors of the mutated index join byte-identically.
+    for strategy in [ShardStrategy::ByRepetition, ShardStrategy::ByDataset] {
+        for shards in [1usize, 4] {
+            let sharded = ShardedIndex::build(&index, strategy, shards);
+            assert_eq!(
+                similarity_join(&r, &sharded),
+                seq,
+                "{strategy:?} shards={shards}"
+            );
+        }
+    }
+
+    // Every reported pair verifies against the survivor set, and recall
+    // against the exact nested-loop join over the survivors stays high.
+    let truth = nested_loop_join(
+        &r,
+        &survivors
+            .iter()
+            .map(|&s| ds.vector(s).clone())
+            .collect::<Vec<_>>(),
+        index.threshold(),
+    );
+    let seq_compact: Vec<_> = similarity_join(&r, &rebuilt);
+    assert!(
+        join_recall(&seq_compact, &truth) >= 0.8,
+        "recall={}",
+        join_recall(&seq_compact, &truth)
     );
 }
 

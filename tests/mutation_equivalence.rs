@@ -1,0 +1,515 @@
+//! The mutability contract, pinned end to end: after **any** interleaving of
+//! `insert` / `remove` / `compact` / queries, a log-structured index answers
+//! every surface — `search`, `search_all`, `search_all_tagged`,
+//! `search_batch`, `search_batch_best`, and `plan_query` + `probe_plan` —
+//! **byte-identically** to an index built from scratch over the surviving
+//! sets (under the monotone slot → compact-id renumbering), and a
+//! `ShardedIndex` mutated through the trait API answers byte-identically to
+//! the mutated unsharded index at every shard count, strategy, and worker
+//! count.
+//!
+//! The rebuild oracle works because a build consumes its RNG only for the
+//! per-repetition hash stacks and interners — never per vector — and the
+//! scheme is calibrated to a *fixed* n: two builds from the same seed share
+//! identical stacks no matter how many vectors each indexes, so the only
+//! difference between "mutated" and "rebuilt" is which slots hold which
+//! sets. Compaction shifts data between the delta and base segments without
+//! renumbering, so it must never change an answer; the suite checks every
+//! property with and without intervening `compact()` calls, and across
+//! auto-compaction thresholds (`IndexOptions::mutation_buffer`).
+//!
+//! Deterministic tests pin a fixed interleaving plus the degenerate cases
+//! from the issue (remove-then-reinsert, removing never-assigned ids,
+//! emptying an index entirely, querying exactly at the compaction
+//! threshold); a proptest block then randomizes the op script, the build
+//! size, the buffer, and the shard count over {1, 3, 8}.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch::baselines::{BruteForce, MinHashLsh, MinHashParams, PrefixFilterIndex};
+use skewsearch::core::{
+    CorrelatedScheme, IndexOptions, LsfIndex, Match, MutationError, Repetitions,
+    SetSimilaritySearch, ShardStrategy, ShardedIndex, TaggedMatch,
+};
+use skewsearch::datagen::{correlated_query, BernoulliProfile, Dataset};
+use skewsearch::sets::SparseVec;
+
+mod common;
+use common::thread_counts;
+
+const ALPHA: f64 = 0.8;
+const BUILD_SEED: u64 = 0xB111D;
+const STRATEGIES: [ShardStrategy; 2] = [ShardStrategy::ByRepetition, ShardStrategy::ByDataset];
+const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
+
+/// Pool of vectors: slots `0..n_build` are indexed at build time, inserts
+/// draw the following pool vectors in order — so slot `s` always holds
+/// `pool.vector(s)` and the rebuild oracle can reconstruct any survivor set.
+fn pool(seed: u64, n: usize) -> (Dataset, BernoulliProfile) {
+    let profile = BernoulliProfile::blocks(&[(60, 0.2), (900, 0.01)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (Dataset::generate(&profile, n, &mut rng), profile)
+}
+
+/// The rebuild oracle's builder: a dedicated RNG consumed only by the build
+/// and a scheme calibrated to a fixed n, so every call draws identical hash
+/// stacks and interners regardless of the vector count.
+fn build_fixed(
+    vectors: Vec<SparseVec>,
+    profile: &BernoulliProfile,
+    mutation_buffer: usize,
+) -> LsfIndex<CorrelatedScheme> {
+    let scheme = CorrelatedScheme::new(ALPHA, 300, profile);
+    let mut rng = StdRng::seed_from_u64(BUILD_SEED);
+    LsfIndex::build(
+        vectors,
+        profile.clone(),
+        scheme,
+        ALPHA / 1.3,
+        IndexOptions {
+            repetitions: Repetitions::Fixed(4),
+            mutation_buffer,
+            ..IndexOptions::default()
+        },
+        &mut rng,
+    )
+}
+
+/// Correlated queries against pool vectors (some of which the script will
+/// have removed) plus the degenerate empty query.
+fn queries_for(
+    ds: &Dataset,
+    profile: &BernoulliProfile,
+    seed: u64,
+    count: usize,
+) -> Vec<SparseVec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut qs: Vec<SparseVec> = (0..count)
+        .map(|t| correlated_query(ds.vector(t * 13 % ds.n()), profile, ALPHA, &mut rng))
+        .collect();
+    qs.push(SparseVec::empty());
+    qs
+}
+
+/// One mutation, with its target resolved against the slot population at the
+/// point it executes — so the unsharded index, every sharded mirror, and the
+/// shadow model all perform the same concrete operation.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Insert the given pool vector (its index is also its slot id).
+    Insert(usize),
+    /// Remove the given slot id (possibly already dead, possibly never
+    /// assigned — both must be refused idempotently).
+    Remove(usize),
+    /// Explicit compaction (skipped by executors that only speak the trait
+    /// API; compaction is answer-invariant so both sides must still agree).
+    Compact,
+}
+
+/// Decodes a raw `(kind, payload)` script into concrete ops and returns the
+/// surviving pool indices in ascending slot order. Inserts stop when the
+/// pool is exhausted; removes target `payload % (slot_count + 1)` so the
+/// one-past-the-end id (never assigned) is exercised too.
+fn resolve(raw: &[(u8, u64)], n_build: usize, pool_len: usize) -> (Vec<Op>, Vec<usize>) {
+    let mut alive: Vec<bool> = vec![true; n_build];
+    let mut ops = Vec::with_capacity(raw.len());
+    for &(kind, payload) in raw {
+        match kind % 8 {
+            0..=2 => {
+                if alive.len() < pool_len {
+                    ops.push(Op::Insert(alive.len()));
+                    alive.push(true);
+                }
+            }
+            7 => ops.push(Op::Compact),
+            _ => {
+                let slot = (payload % (alive.len() as u64 + 1)) as usize;
+                ops.push(Op::Remove(slot));
+                if let Some(flag) = alive.get_mut(slot) {
+                    *flag = false;
+                }
+            }
+        }
+    }
+    let survivors = (0..alive.len()).filter(|&s| alive[s]).collect();
+    (ops, survivors)
+}
+
+/// Applies a script through the inherent `LsfIndex` API, checking that ids
+/// stay dense and monotone along the way.
+fn run_inherent(index: &mut LsfIndex<CorrelatedScheme>, ds: &Dataset, ops: &[Op]) {
+    for &op in ops {
+        match op {
+            Op::Insert(p) => assert_eq!(index.insert_set(ds.vector(p).clone()), p, "dense ids"),
+            Op::Remove(slot) => {
+                let _ = index.remove_set(slot);
+            }
+            Op::Compact => index.compact(),
+        }
+    }
+}
+
+/// Applies a script through the `SetSimilaritySearch` mutation API (what a
+/// `ShardedIndex` exposes). `Compact` is skipped: the wrapper compacts its
+/// shards on their own buffer schedule, and compaction must be
+/// answer-invariant anyway — the equivalence assertions prove exactly that.
+fn run_trait<I: SetSimilaritySearch>(index: &mut I, ds: &Dataset, ops: &[Op]) {
+    for &op in ops {
+        match op {
+            Op::Insert(p) => {
+                assert_eq!(index.insert(ds.vector(p).clone()), Ok(p), "dense ids");
+            }
+            Op::Remove(slot) => {
+                assert!(index.remove(slot).is_ok());
+            }
+            Op::Compact => {}
+        }
+    }
+}
+
+fn remap(ms: &[Match], compact_of: &HashMap<usize, usize>) -> Vec<(usize, u64)> {
+    ms.iter()
+        .map(|m| (compact_of[&m.id], m.similarity.to_bits()))
+        .collect()
+}
+
+fn remap_tagged(
+    ms: &[TaggedMatch],
+    compact_of: &HashMap<usize, usize>,
+) -> Vec<(u32, u32, usize, u64)> {
+    ms.iter()
+        .map(|m| {
+            (
+                m.pass,
+                m.step,
+                compact_of[&m.hit.id],
+                m.hit.similarity.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn dense(ms: &[Match]) -> Vec<(usize, u64)> {
+    ms.iter().map(|m| (m.id, m.similarity.to_bits())).collect()
+}
+
+fn dense_tagged(ms: &[TaggedMatch]) -> Vec<(u32, u32, usize, u64)> {
+    ms.iter()
+        .map(|m| (m.pass, m.step, m.hit.id, m.hit.similarity.to_bits()))
+        .collect()
+}
+
+/// The core assertion: every answer surface of `index` (a mutated structure
+/// whose live slots map to the oracle's dense ids via `compact_of`) equals
+/// the from-scratch `oracle`, byte for byte.
+fn assert_answers_like_rebuild<I: SetSimilaritySearch>(
+    index: &I,
+    oracle: &LsfIndex<CorrelatedScheme>,
+    compact_of: &HashMap<usize, usize>,
+    queries: &[SparseVec],
+    label: &str,
+) {
+    assert_eq!(index.len(), oracle.len(), "{label}: live count");
+    assert_eq!(index.threshold(), oracle.threshold(), "{label}");
+    for (i, q) in queries.iter().enumerate() {
+        let ctx = format!("{label} q={i}");
+        assert_eq!(
+            remap(&index.search_all(q), compact_of),
+            dense(&oracle.search_all(q)),
+            "{ctx}: search_all"
+        );
+        assert_eq!(
+            remap_tagged(&index.search_all_tagged(q), compact_of),
+            dense_tagged(&oracle.search_all_tagged(q)),
+            "{ctx}: search_all_tagged"
+        );
+        assert_eq!(
+            index
+                .search(q)
+                .map(|m| (compact_of[&m.id], m.similarity.to_bits())),
+            oracle.search(q).map(|m| (m.id, m.similarity.to_bits())),
+            "{ctx}: search"
+        );
+        // The enumerate→probe split must survive mutation: probing a plan
+        // answers exactly like the fused search over the same live sets.
+        let plan = index.plan_query(q);
+        assert_eq!(
+            remap(&index.probe_plan(&plan), compact_of),
+            dense(&oracle.search_all(q)),
+            "{ctx}: probe_plan"
+        );
+    }
+    let batch: Vec<Vec<(usize, u64)>> = index
+        .search_batch(queries)
+        .iter()
+        .map(|ms| remap(ms, compact_of))
+        .collect();
+    let oracle_batch: Vec<Vec<(usize, u64)>> = oracle
+        .search_batch(queries)
+        .iter()
+        .map(|ms| dense(ms))
+        .collect();
+    assert_eq!(batch, oracle_batch, "{label}: search_batch");
+    let best: Vec<Option<(usize, u64)>> = index
+        .search_batch_best(queries)
+        .iter()
+        .map(|m| m.map(|m| (compact_of[&m.id], m.similarity.to_bits())))
+        .collect();
+    let oracle_best: Vec<Option<(usize, u64)>> = oracle
+        .search_batch_best(queries)
+        .iter()
+        .map(|m| m.map(|m| (m.id, m.similarity.to_bits())))
+        .collect();
+    assert_eq!(best, oracle_best, "{label}: search_batch_best");
+}
+
+/// Rebuilds the oracle over a script's survivors and returns it with the
+/// slot → compact-id map.
+fn oracle_for(
+    survivors: &[usize],
+    ds: &Dataset,
+    profile: &BernoulliProfile,
+) -> (LsfIndex<CorrelatedScheme>, HashMap<usize, usize>) {
+    let vectors: Vec<SparseVec> = survivors.iter().map(|&s| ds.vector(s).clone()).collect();
+    let oracle = build_fixed(vectors, profile, usize::MAX);
+    let compact_of = survivors.iter().enumerate().map(|(c, &s)| (s, c)).collect();
+    (oracle, compact_of)
+}
+
+/// A fixed interleaving mixing build-time removals, fresh inserts, a
+/// remove-then-reinsert, and removal of freshly inserted sets.
+fn fixed_script() -> Vec<(u8, u64)> {
+    let mut raw: Vec<(u8, u64)> = vec![(3, 3), (3, 50), (0, 0), (0, 0), (3, 51)];
+    raw.extend((0..26).map(|_| (0u8, 0u64)));
+    raw.push((3, 170)); // one of the fresh inserts dies again
+    raw.push((3, 0));
+    raw.push((3, 0)); // double-remove: must be refused, must change nothing
+    raw
+}
+
+#[test]
+fn interleaved_mutations_answer_like_a_rebuild_on_every_surface() {
+    let (ds, profile) = pool(0x5EED, 200);
+    let n_build = 160;
+    let (ops, survivors) = resolve(&fixed_script(), n_build, ds.n());
+    let queries = queries_for(&ds, &profile, 0xCAFE, 20);
+
+    let mut index = build_fixed(ds.vectors()[..n_build].to_vec(), &profile, usize::MAX);
+    run_inherent(&mut index, &ds, &ops);
+    let (oracle, compact_of) = oracle_for(&survivors, &ds, &profile);
+
+    // Plans are mutation-invariant: the mutated index and the fresh rebuild
+    // plan every query identically (plans depend only on the hash stacks).
+    for q in &queries {
+        assert_eq!(index.plan_query(q), oracle.plan_query(q));
+    }
+
+    assert_answers_like_rebuild(&index, &oracle, &compact_of, &queries, "mutated");
+
+    // Explicit compaction is answer-invariant — re-check every surface.
+    index.compact();
+    assert_eq!(index.pending_mutations(), 0);
+    assert_answers_like_rebuild(&index, &oracle, &compact_of, &queries, "compacted");
+}
+
+#[test]
+fn compaction_threshold_crossings_are_answer_invariant() {
+    // Queries issued exactly at, one below, and one above the auto-compaction
+    // threshold must agree with a buffer-disabled twin fed the same script.
+    let (ds, profile) = pool(0x5EED ^ 1, 140);
+    let n_build = 100;
+    let queries = queries_for(&ds, &profile, 0xD00D, 12);
+    let buffer = 3;
+    let mut buffered = build_fixed(ds.vectors()[..n_build].to_vec(), &profile, buffer);
+    let mut unbuffered = build_fixed(ds.vectors()[..n_build].to_vec(), &profile, usize::MAX);
+
+    let mut survivors: Vec<usize> = (0..n_build).collect();
+    let script: Vec<Op> = vec![
+        Op::Insert(100),
+        Op::Remove(7),   // pending = 2: one below the threshold
+        Op::Insert(101), // pending = 3: compaction fires here
+        Op::Insert(102), // pending = 1 again
+    ];
+    survivors.retain(|&s| s != 7);
+    survivors.extend([100, 101, 102]);
+
+    for (step, &op) in script.iter().enumerate() {
+        run_inherent(&mut buffered, &ds, &[op]);
+        run_inherent(&mut unbuffered, &ds, &[op]);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(
+                buffered.search_all(q),
+                unbuffered.search_all(q),
+                "step={step} q={i} (pending={} compactions={})",
+                buffered.pending_mutations(),
+                buffered.compaction_count(),
+            );
+        }
+    }
+    assert_eq!(buffered.compaction_count(), 1, "threshold crossed once");
+    assert_eq!(unbuffered.compaction_count(), 0);
+
+    // And both agree with the rebuild over the survivors.
+    let (oracle, compact_of) = oracle_for(&survivors, &ds, &profile);
+    assert_answers_like_rebuild(&buffered, &oracle, &compact_of, &queries, "buffered");
+    assert_answers_like_rebuild(&unbuffered, &oracle, &compact_of, &queries, "unbuffered");
+}
+
+#[test]
+fn degenerate_mutation_sequences() {
+    let (ds, profile) = pool(0x5EED ^ 2, 60);
+    let mut index = build_fixed(ds.vectors()[..40].to_vec(), &profile, usize::MAX);
+
+    // Remove-then-reinsert identical content: fresh id, never reused.
+    assert_eq!(index.insert(ds.vector(40).clone()), Ok(40));
+    assert_eq!(index.remove(40), Ok(true));
+    assert_eq!(
+        index.insert(ds.vector(40).clone()),
+        Ok(41),
+        "ids not reused"
+    );
+    // Removing dead or never-assigned ids is refused without error.
+    assert_eq!(index.remove(40), Ok(false), "already dead");
+    assert_eq!(index.remove(999), Ok(false), "never assigned");
+    // The reinserted copy answers; the tombstoned slot never does.
+    let q = ds.vector(40).clone();
+    let hits = index.search_all(&q);
+    assert!(hits.iter().any(|m| m.id == 41 && m.similarity == 1.0));
+    assert!(hits.iter().all(|m| m.id != 40));
+
+    // Empty the index entirely: every surface answers "nothing", and the
+    // empty structure still accepts inserts and compaction afterwards.
+    for id in 0..index.slot_count() {
+        let _ = index.remove_set(id);
+    }
+    assert_eq!(index.len(), 0);
+    assert!(index.is_empty());
+    assert!(index.search(&q).is_none());
+    assert!(index.search_all(&q).is_empty());
+    assert!(index.search_all_tagged(&q).is_empty());
+    assert!(index.probe_plan(&index.plan_query(&q)).is_empty());
+    assert_eq!(index.search_batch(std::slice::from_ref(&q)), vec![vec![]]);
+    index.compact();
+    assert!(index.search_all(&q).is_empty());
+    let revived = index.insert_set(ds.vector(42).clone());
+    assert_eq!(revived, index.slot_count() - 1);
+    assert!(index
+        .search_all(ds.vector(42))
+        .iter()
+        .any(|m| m.id == revived && m.similarity == 1.0));
+}
+
+#[test]
+fn read_only_structures_refuse_mutation() {
+    let (ds, _profile) = pool(0x5EED ^ 3, 50);
+    let mut rng = StdRng::seed_from_u64(9);
+    let v = ds.vector(0).clone();
+
+    let mut brute = BruteForce::new(ds.vectors().to_vec(), 0.6);
+    assert!(!brute.supports_mutation());
+    assert_eq!(brute.insert(v.clone()), Err(MutationError::Unsupported));
+    assert_eq!(brute.remove(0), Err(MutationError::Unsupported));
+
+    let mut prefix = PrefixFilterIndex::build(&ds, 0.6);
+    assert!(!prefix.supports_mutation());
+    assert_eq!(prefix.insert(v.clone()), Err(MutationError::Unsupported));
+
+    let minhash = MinHashLsh::build(&ds, MinHashParams::new(0.6, 0.3).unwrap(), &mut rng);
+    assert!(!minhash.supports_mutation());
+
+    // A sharded wrapper over a read-only structure refuses mutations too,
+    // before touching any shard — no partial fan-out effects.
+    for strategy in STRATEGIES {
+        let mut sharded = ShardedIndex::build(&minhash, strategy, 3);
+        assert!(!sharded.supports_mutation());
+        let before = sharded.len();
+        assert_eq!(sharded.insert(v.clone()), Err(MutationError::Unsupported));
+        assert_eq!(sharded.remove(0), Err(MutationError::Unsupported));
+        assert_eq!(sharded.len(), before, "{strategy:?}: no partial insert");
+    }
+}
+
+#[test]
+fn mutated_sharded_indexes_match_at_every_shard_count() {
+    let (ds, profile) = pool(0x5EED ^ 4, 200);
+    let n_build = 160;
+    let (ops, survivors) = resolve(&fixed_script(), n_build, ds.n());
+    let queries = queries_for(&ds, &profile, 0xBEEF, 14);
+
+    // The unsharded reference, mutated through the same trait API.
+    // `build_fixed` is deterministic, so a second build is an exact twin of
+    // the base the sharded mirrors are partitioned from.
+    let base = build_fixed(ds.vectors()[..n_build].to_vec(), &profile, usize::MAX);
+    let mut reference = build_fixed(ds.vectors()[..n_build].to_vec(), &profile, usize::MAX);
+    run_trait(&mut reference, &ds, &ops);
+    let (oracle, compact_of) = oracle_for(&survivors, &ds, &profile);
+    assert_answers_like_rebuild(&reference, &oracle, &compact_of, &queries, "reference");
+
+    for strategy in STRATEGIES {
+        for shards in SHARD_COUNTS {
+            for threads in thread_counts() {
+                let label = format!("{strategy:?} shards={shards} threads={threads}");
+                let mut sharded = ShardedIndex::build(&base, strategy, shards)
+                    .with_fanout_threads(threads)
+                    .with_query_threads(threads);
+                assert!(sharded.supports_mutation(), "{label}");
+                run_trait(&mut sharded, &ds, &ops);
+                assert_answers_like_rebuild(&sharded, &oracle, &compact_of, &queries, &label);
+            }
+        }
+    }
+
+    // Sharding an already-mutated index must reproduce its answers too:
+    // build-time routing has to carry tombstones and delta entries.
+    for strategy in STRATEGIES {
+        for shards in SHARD_COUNTS {
+            let label = format!("post-mutation {strategy:?} shards={shards}");
+            let sharded = ShardedIndex::build(&reference, strategy, shards);
+            assert_answers_like_rebuild(&sharded, &oracle, &compact_of, &queries, &label);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized sweep: arbitrary op scripts (insert-heavy, with removes of
+    /// live, dead, and never-assigned ids plus explicit compactions) over
+    /// random build sizes and buffer settings, checked against the rebuild
+    /// oracle both unsharded and through a sharded mirror.
+    #[test]
+    fn random_interleavings_match_rebuild_and_shards(
+        raw in prop::collection::vec((any::<u8>(), any::<u64>()), 1..36),
+        seed in 0u64..1_000_000,
+        n_build in 20usize..60,
+        buffer_ix in 0usize..3,
+        shards_ix in 0usize..3,
+    ) {
+        let buffer = [2, 7, usize::MAX][buffer_ix];
+        let shards = SHARD_COUNTS[shards_ix];
+        let (ds, profile) = pool(seed, 100);
+        let (ops, survivors) = resolve(&raw, n_build, ds.n());
+        let queries = queries_for(&ds, &profile, seed ^ 0xF00D, 8);
+
+        let base = build_fixed(ds.vectors()[..n_build].to_vec(), &profile, buffer);
+        let mut index = build_fixed(ds.vectors()[..n_build].to_vec(), &profile, buffer);
+        run_inherent(&mut index, &ds, &ops);
+        let (oracle, compact_of) = oracle_for(&survivors, &ds, &profile);
+        let label = format!("seed={seed} buffer={buffer}");
+        assert_answers_like_rebuild(&index, &oracle, &compact_of, &queries, &label);
+
+        for strategy in STRATEGIES {
+            let mut sharded = ShardedIndex::build(&base, strategy, shards);
+            run_trait(&mut sharded, &ds, &ops);
+            assert_answers_like_rebuild(
+                &sharded,
+                &oracle,
+                &compact_of,
+                &queries,
+                &format!("{label} {strategy:?} shards={shards}"),
+            );
+        }
+    }
+}

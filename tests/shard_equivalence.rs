@@ -108,6 +108,38 @@ fn lsf_index_shard_equivalence() {
 }
 
 #[test]
+fn mutated_lsf_index_shard_equivalence() {
+    // Sharding an index that has been mutated — live tombstones, a delta
+    // segment, and a compacted region — must still be byte-identical under
+    // both strategies: `ByDataset` routes every slot (dead ones included, to
+    // keep the id maps dense) and `ByRepetition` carries the segments
+    // verbatim. See `tests/mutation_equivalence.rs` for the rebuild oracle.
+    let (ds, profile, queries) = fixture(250, SEED ^ 8);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 9);
+    let scheme = CorrelatedScheme::new(ALPHA, 220, &profile);
+    let mut index = LsfIndex::build(
+        ds.vectors()[..220].to_vec(),
+        profile.clone(),
+        scheme,
+        ALPHA / 1.3,
+        opts(6),
+        &mut rng,
+    );
+    for id in [0usize, 7, 100, 219] {
+        assert!(index.remove_set(id));
+    }
+    for t in 220..250 {
+        index.insert_set(ds.vector(t).clone());
+    }
+    assert!(index.remove_set(230), "a fresh insert dies too");
+    assert_sharded_identical(&index, &queries, &[1, 3, 8], "mutated LsfIndex");
+    // Compaction folds the delta into the base without renumbering, so the
+    // sharded mirrors must not notice.
+    index.compact();
+    assert_sharded_identical(&index, &queries, &[1, 3, 8], "compacted LsfIndex");
+}
+
+#[test]
 fn correlated_index_shard_equivalence() {
     let (ds, profile, queries) = fixture(250, SEED);
     let mut rng = StdRng::seed_from_u64(SEED ^ 2);
