@@ -232,6 +232,43 @@ impl skewsearch_core::Shardable for ChosenPathIndex {
     }
 }
 
+impl skewsearch_core::Persist for ChosenPathIndex {
+    /// Kind-4 container: the background threshold `b₂` (the only state the
+    /// wrapper adds) followed by the embedded LSF payload — see
+    /// `docs/PERSISTENCE.md` §5.
+    fn save(&self, path: &std::path::Path) -> Result<(), skewsearch_core::PersistError> {
+        let mut w = skewsearch_core::persist::Writer::new();
+        w.put_f64(self.b2);
+        self.inner.write_payload(&mut w);
+        skewsearch_core::persist::write_container(
+            path,
+            skewsearch_core::persist::kind::CHOSEN_PATH,
+            &w.into_payload(),
+        )
+    }
+
+    fn load(path: &std::path::Path) -> Result<Self, skewsearch_core::PersistError> {
+        let payload = skewsearch_core::persist::read_container(
+            path,
+            skewsearch_core::persist::kind::CHOSEN_PATH,
+        )?;
+        let mut r = skewsearch_core::persist::Reader::new(&payload);
+        let b2 = r.get_f64()?;
+        if !(b2 > 0.0 && b2 < 1.0) {
+            return Err(skewsearch_core::PersistError::Malformed(
+                "b2 must lie in (0, 1)",
+            ));
+        }
+        let inner = LsfIndex::read_payload(&mut r)?;
+        if !r.is_empty() {
+            return Err(skewsearch_core::PersistError::Malformed(
+                "trailing bytes after index payload",
+            ));
+        }
+        Ok(Self { inner, b2 })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -185,6 +185,29 @@ impl crate::shard::Shardable for AdversarialIndex {
     }
 }
 
+impl crate::persist::Persist for AdversarialIndex {
+    /// Kind-3 container: the wrapper adds no state of its own, so the
+    /// payload is the embedded LSF payload verbatim — only the container
+    /// kind distinguishes the file (see `docs/PERSISTENCE.md` §5).
+    fn save(&self, path: &std::path::Path) -> Result<(), crate::persist::PersistError> {
+        let mut w = crate::persist::Writer::new();
+        self.inner.write_payload(&mut w);
+        crate::persist::write_container(path, crate::persist::kind::ADVERSARIAL, &w.into_payload())
+    }
+
+    fn load(path: &std::path::Path) -> Result<Self, crate::persist::PersistError> {
+        let payload = crate::persist::read_container(path, crate::persist::kind::ADVERSARIAL)?;
+        let mut r = crate::persist::Reader::new(&payload);
+        let inner = LsfIndex::read_payload(&mut r)?;
+        if !r.is_empty() {
+            return Err(crate::persist::PersistError::Malformed(
+                "trailing bytes after index payload",
+            ));
+        }
+        Ok(Self { inner })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

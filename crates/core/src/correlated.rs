@@ -238,6 +238,49 @@ impl crate::shard::Shardable for CorrelatedIndex {
     }
 }
 
+impl crate::persist::Persist for CorrelatedIndex {
+    /// Kind-2 container: `α`, the model diagnostics (`C` + warnings), then
+    /// the embedded LSF payload — see `docs/PERSISTENCE.md` §5.
+    fn save(&self, path: &std::path::Path) -> Result<(), crate::persist::PersistError> {
+        let mut w = crate::persist::Writer::new();
+        w.put_f64(self.alpha);
+        w.put_f64(self.diagnostics.c);
+        w.put_u64(self.diagnostics.warnings.len() as u64);
+        for warning in &self.diagnostics.warnings {
+            w.put_str(warning);
+        }
+        self.inner.write_payload(&mut w);
+        crate::persist::write_container(path, crate::persist::kind::CORRELATED, &w.into_payload())
+    }
+
+    fn load(path: &std::path::Path) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let payload = crate::persist::read_container(path, crate::persist::kind::CORRELATED)?;
+        let mut r = crate::persist::Reader::new(&payload);
+        let alpha = r.get_f64()?;
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(PersistError::Malformed("correlated alpha out of (0,1]"));
+        }
+        let c = r.get_f64()?;
+        let warning_count = r.get_u64()?;
+        let mut warnings = Vec::new();
+        for _ in 0..warning_count {
+            warnings.push(r.get_string()?);
+        }
+        let inner = LsfIndex::read_payload(&mut r)?;
+        if !r.is_empty() {
+            return Err(PersistError::Malformed(
+                "trailing bytes after index payload",
+            ));
+        }
+        Ok(Self {
+            inner,
+            alpha,
+            diagnostics: ModelDiagnostics { c, warnings },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

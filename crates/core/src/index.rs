@@ -21,6 +21,10 @@
 
 use crate::batch::batch_map;
 use crate::engine::{enumerate_filters_with, EnumContext, EnumStats, DEFAULT_NODE_BUDGET};
+use crate::persist::{
+    kind, read_bucket_map, read_container, write_bucket_map, write_container, Persist,
+    PersistError, PersistScheme, Reader, Writer,
+};
 use crate::plan::QueryPlan;
 use crate::scheme::ThresholdScheme;
 use crate::traits::{Match, SetSimilaritySearch};
@@ -1048,6 +1052,207 @@ impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
     /// [`LsfIndex::slot_count`] for the total).
     fn len(&self) -> usize {
         self.live
+    }
+}
+
+// --- persistence -----------------------------------------------------------
+//
+// The index is deterministic given its hash-function draws, so its payload
+// is plain data: scheme calibration, profile, vectors, the `alive` bitmap
+// and watermark counters, and per repetition the level-hash coefficients,
+// interner tables, and both posting segments. Byte layout is specified in
+// `docs/PERSISTENCE.md` §4; the container framing lives in
+// [`crate::persist`].
+
+impl<S: ThresholdScheme + PersistScheme> LsfIndex<S> {
+    /// Appends this index's complete state to `w` as the kind-1 payload of
+    /// `docs/PERSISTENCE.md` §4. Public because the wrapper indexes in
+    /// `skewsearch-baselines` embed this payload after their own fields;
+    /// most callers want [`Persist::save`] instead.
+    pub fn write_payload(&self, w: &mut Writer) {
+        w.put_u32(S::SCHEME_TAG);
+        self.scheme.encode_scheme(w);
+        w.put_f64_slice(self.profile.ps());
+        w.put_f64(self.verify_threshold);
+        w.put_u64(self.node_budget as u64);
+        w.put_u64(self.query_threads as u64);
+        w.put_u64(self.mutation_buffer as u64);
+        w.put_u64(self.compactions);
+        w.put_u64(self.base_len as u64);
+        w.put_u64(self.pending as u64);
+        w.put_u64(self.build_stats.repetitions as u64);
+        w.put_u64(self.build_stats.total_filters as u64);
+        w.put_u64(self.build_stats.distinct_buckets as u64);
+        w.put_u64(self.build_stats.max_bucket as u64);
+        w.put_u64(self.build_stats.truncated_vectors as u64);
+        w.put_u64(self.build_stats.depth_capped_vectors as u64);
+        // Vectors: one offset table plus one flat dimension stream.
+        w.put_u64(self.vectors.len() as u64);
+        let mut offsets: Vec<u64> = Vec::with_capacity(self.vectors.len() + 1);
+        offsets.push(0);
+        let mut total = 0u64;
+        for v in &self.vectors {
+            total += v.dims().len() as u64;
+            offsets.push(total);
+        }
+        w.put_u64_slice(&offsets);
+        let mut flat: Vec<u32> = Vec::with_capacity(total as usize);
+        for v in &self.vectors {
+            flat.extend_from_slice(v.dims());
+        }
+        w.put_u32_slice(&flat);
+        w.put_bitmap(&self.alive);
+        w.put_u64(self.reps.len() as u64);
+        for rep in &self.reps {
+            let levels = rep.hashers.levels();
+            w.put_u64(levels.len() as u64);
+            for level in levels {
+                let (a1, a2, b) = level.coefficients();
+                w.put_u128(a1);
+                w.put_u128(a2);
+                w.put_u128(b);
+            }
+            w.put_u64_slice(&rep.interner.to_words());
+            write_bucket_map(w, &rep.buckets);
+            write_bucket_map(w, &rep.delta);
+        }
+    }
+
+    /// Decodes an index from a payload written by
+    /// [`LsfIndex::write_payload`], validating every structural invariant
+    /// the query path relies on (offset tables monotone, ids in range and
+    /// ascending, hasher stacks exactly `depth_bound` deep, delta ids past
+    /// the base watermark). Never panics: corrupt bytes yield a
+    /// [`PersistError`]. Most callers want [`Persist::load`] instead.
+    pub fn read_payload(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let tag = r.get_u32()?;
+        if tag != S::SCHEME_TAG {
+            return Err(PersistError::Malformed(
+                "scheme tag does not match the requested scheme type",
+            ));
+        }
+        let scheme = S::decode_scheme(r)?;
+        let ps = r.get_f64_vec()?;
+        let profile = BernoulliProfile::new(ps)
+            .map_err(|_| PersistError::Malformed("profile probabilities out of range"))?;
+        let verify_threshold = r.get_f64()?;
+        if !(0.0..=1.0).contains(&verify_threshold) {
+            return Err(PersistError::Malformed("verify threshold out of [0,1]"));
+        }
+        let node_budget = r.get_u64()? as usize;
+        let query_threads = r.get_u64()? as usize;
+        let mutation_buffer = r.get_u64()? as usize;
+        let compactions = r.get_u64()?;
+        let base_len = r.get_u64()? as usize;
+        let pending = r.get_u64()? as usize;
+        let build_stats = BuildStats {
+            repetitions: r.get_u64()? as usize,
+            total_filters: r.get_u64()? as usize,
+            distinct_buckets: r.get_u64()? as usize,
+            max_bucket: r.get_u64()? as usize,
+            truncated_vectors: r.get_u64()? as usize,
+            depth_capped_vectors: r.get_u64()? as usize,
+        };
+        let n = r.get_u64()? as usize;
+        if n > u32::MAX as usize {
+            return Err(PersistError::Malformed("slot count exceeds u32 id space"));
+        }
+        let offsets = r.get_u64_vec()?;
+        let flat = r.get_u32_vec()?;
+        if offsets.len() != n.checked_add(1).ok_or(PersistError::Truncated)?
+            || offsets.first().copied() != Some(0)
+            || offsets.last().copied() != Some(flat.len() as u64)
+            || offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(PersistError::Malformed("vector offset table inconsistent"));
+        }
+        let mut vectors: Vec<SparseVec> = Vec::with_capacity(n);
+        for i in 0..n {
+            let dims = flat
+                .get(offsets[i] as usize..offsets[i + 1] as usize)
+                .ok_or(PersistError::Malformed("vector offset table inconsistent"))?;
+            if dims.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(PersistError::Malformed(
+                    "vector dimensions not strictly ascending",
+                ));
+            }
+            vectors.push(SparseVec::from_sorted(dims.to_vec()));
+        }
+        let alive = r.get_bitmap()?;
+        if alive.len() != n {
+            return Err(PersistError::Malformed("liveness bitmap length mismatch"));
+        }
+        if base_len > n {
+            return Err(PersistError::Malformed("base watermark past slot count"));
+        }
+        let live = alive.iter().filter(|a| **a).count();
+        let rep_count = r.get_u64()?;
+        let mut reps: Vec<Repetition> = Vec::new();
+        for _ in 0..rep_count {
+            let level_count = r.get_u64()?;
+            if level_count != scheme.depth_bound() as u64 {
+                return Err(PersistError::Malformed(
+                    "hasher stack depth does not match the scheme's depth bound",
+                ));
+            }
+            let mut levels = Vec::new();
+            for _ in 0..level_count {
+                let a1 = r.get_u128()?;
+                let a2 = r.get_u128()?;
+                let b = r.get_u128()?;
+                levels.push(skewsearch_hashing::LevelHasher::from_coefficients(
+                    a1, a2, b,
+                ));
+            }
+            let words = r.get_u64_vec()?;
+            let interner = TabulationU128::from_words(&words).ok_or(PersistError::Malformed(
+                "interner table word count mismatch",
+            ))?;
+            let buckets = read_bucket_map(r, n, 0)?;
+            let delta = read_bucket_map(r, n, base_len as u32)?;
+            reps.push(Repetition {
+                hashers: PathHasherStack::from_levels(levels),
+                interner,
+                buckets,
+                delta,
+            });
+        }
+        Ok(Self {
+            profile,
+            vectors,
+            scheme,
+            reps,
+            verify_threshold,
+            node_budget,
+            query_threads,
+            build_stats,
+            base_len,
+            alive,
+            live,
+            pending,
+            mutation_buffer,
+            compactions,
+        })
+    }
+}
+
+impl<S: ThresholdScheme + PersistScheme> Persist for LsfIndex<S> {
+    fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
+        let mut w = Writer::new();
+        self.write_payload(&mut w);
+        write_container(path, kind::LSF, &w.into_payload())
+    }
+
+    fn load(path: &std::path::Path) -> Result<Self, PersistError> {
+        let payload = read_container(path, kind::LSF)?;
+        let mut r = Reader::new(&payload);
+        let index = Self::read_payload(&mut r)?;
+        if !r.is_empty() {
+            return Err(PersistError::Malformed(
+                "trailing bytes after index payload",
+            ));
+        }
+        Ok(index)
     }
 }
 

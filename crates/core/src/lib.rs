@@ -38,7 +38,10 @@
 //! additionally be partitioned across shards by [`ShardedIndex`] ([`shard`])
 //! — by repetition slice or by hash-partitioned dataset, where one plan per
 //! query broadcasts to all shards — with answers byte-identical to the
-//! unsharded structure.
+//! unsharded structure. Built indexes are durable: [`persist::Persist`]
+//! saves any of them to a versioned, checksummed container file and loads
+//! it back with byte-identical answers, and [`ShardedIndex::save`] writes a
+//! whole deployment (manifest + per-shard files) to a directory.
 //!
 //! ```
 //! use rand::{rngs::StdRng, SeedableRng};
@@ -68,6 +71,7 @@ pub mod batch;
 pub mod correlated;
 pub mod engine;
 pub mod index;
+pub mod persist;
 pub mod plan;
 pub mod scheme;
 pub mod shard;
@@ -84,6 +88,7 @@ pub use engine::{
     DEFAULT_NODE_BUDGET,
 };
 pub use index::{BuildStats, IndexOptions, LsfIndex, QueryStats, Repetitions};
+pub use persist::{Persist, PersistError, PersistScheme, ShardManifest, ShardManifestEntry};
 pub use plan::QueryPlan;
 pub use scheme::{AdversarialScheme, ChosenPathScheme, CorrelatedScheme, ThresholdScheme};
 pub use shard::{set_partition_key, ShardStrategy, Shardable, ShardedIndex};

@@ -227,6 +227,109 @@ fn product_rule_depth_bound(log2_n: f64, profile: &BernoulliProfile) -> usize {
 /// model; paths hitting the cap are dropped and counted as truncations.
 pub const MAX_DEPTH_CAP: usize = 256;
 
+// --- persistence -----------------------------------------------------------
+//
+// Schemes are plain calibration data, so persisting one is just writing its
+// fields. The impls live here (not in `persist.rs`) because the fields are
+// private; each scheme gets a distinct tag so a payload can never be decoded
+// under the wrong scheme (see `docs/PERSISTENCE.md` §4).
+
+use crate::persist::{PersistError, PersistScheme, Reader, Writer};
+
+impl PersistScheme for AdversarialScheme {
+    const SCHEME_TAG: u32 = 1;
+
+    fn encode_scheme(&self, w: &mut Writer) {
+        w.put_f64(self.b1);
+        w.put_f64(self.log2_n);
+        w.put_u64(self.depth_bound as u64);
+    }
+
+    fn decode_scheme(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let b1 = r.get_f64()?;
+        let log2_n = r.get_f64()?;
+        let depth_bound = r.get_u64()? as usize;
+        if !(b1 > 0.0 && b1 <= 1.0) {
+            return Err(PersistError::Malformed("adversarial b1 out of (0,1]"));
+        }
+        if !(log2_n.is_finite() && log2_n >= 1.0) {
+            return Err(PersistError::Malformed("adversarial log2_n out of range"));
+        }
+        if depth_bound == 0 || depth_bound > MAX_DEPTH_CAP {
+            return Err(PersistError::Malformed(
+                "adversarial depth bound out of range",
+            ));
+        }
+        Ok(Self {
+            b1,
+            log2_n,
+            depth_bound,
+        })
+    }
+}
+
+impl PersistScheme for CorrelatedScheme {
+    const SCHEME_TAG: u32 = 2;
+
+    fn encode_scheme(&self, w: &mut Writer) {
+        w.put_f64(self.one_plus_delta);
+        w.put_f64(self.log2_n);
+        w.put_u64(self.depth_bound as u64);
+        w.put_f64_slice(&self.phat_w);
+    }
+
+    fn decode_scheme(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let one_plus_delta = r.get_f64()?;
+        let log2_n = r.get_f64()?;
+        let depth_bound = r.get_u64()? as usize;
+        let phat_w = r.get_f64_vec()?;
+        if !(one_plus_delta.is_finite() && one_plus_delta >= 1.0) {
+            return Err(PersistError::Malformed("correlated 1+δ out of range"));
+        }
+        if !(log2_n.is_finite() && log2_n >= 1.0) {
+            return Err(PersistError::Malformed("correlated log2_n out of range"));
+        }
+        if depth_bound == 0 || depth_bound > MAX_DEPTH_CAP {
+            return Err(PersistError::Malformed(
+                "correlated depth bound out of range",
+            ));
+        }
+        if phat_w.iter().any(|v| !v.is_finite()) {
+            return Err(PersistError::Malformed("correlated p̂·Σp not finite"));
+        }
+        Ok(Self {
+            phat_w,
+            one_plus_delta,
+            log2_n,
+            depth_bound,
+        })
+    }
+}
+
+impl PersistScheme for ChosenPathScheme {
+    const SCHEME_TAG: u32 = 3;
+
+    fn encode_scheme(&self, w: &mut Writer) {
+        w.put_f64(self.b1);
+        w.put_u64(self.k as u64);
+    }
+
+    fn decode_scheme(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let b1 = r.get_f64()?;
+        let k = r.get_u64()? as usize;
+        if !(b1 > 0.0 && b1 <= 1.0) {
+            return Err(PersistError::Malformed("chosen-path b1 out of (0,1]"));
+        }
+        // Chosen Path's fixed depth is not subject to MAX_DEPTH_CAP (that cap
+        // applies to product-rule schemes); just rule out absurd values that
+        // would make the hasher stack allocation a corruption amplifier.
+        if k == 0 || k > 1 << 20 {
+            return Err(PersistError::Malformed("chosen-path depth out of range"));
+        }
+        Ok(Self { b1, k })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

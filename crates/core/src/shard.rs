@@ -433,6 +433,121 @@ impl<S: Shardable + Send + Sync> ShardedIndex<S> {
     }
 }
 
+impl<S: Shardable + crate::persist::Persist + Send + Sync> ShardedIndex<S> {
+    /// Saves the whole deployment into `dir` (created if missing): one
+    /// container file per shard (`shard-0000.skx`, `shard-0001.skx`, …) plus
+    /// a `manifest.skx` recording the strategy, thresholds, watermark, owner
+    /// table, and each shard's file, pass offset, and local→global id map —
+    /// see [`crate::persist::ShardManifest`] and the "restoring a sharded
+    /// deployment" walkthrough in `docs/PERSISTENCE.md`.
+    ///
+    /// [`ShardedIndex::load`] on the same directory restores a wrapper whose
+    /// every answer surface is byte-identical to this one's.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use skewsearch_core::{
+    ///     CorrelatedIndex, CorrelatedParams, SetSimilaritySearch, ShardStrategy, ShardedIndex,
+    /// };
+    /// use skewsearch_datagen::{correlated_query, BernoulliProfile, Dataset};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(21);
+    /// let profile = BernoulliProfile::two_block(400, 0.2, 0.02).unwrap();
+    /// let data = Dataset::generate(&profile, 100, &mut rng);
+    /// let index = CorrelatedIndex::build(
+    ///     &data,
+    ///     &profile,
+    ///     CorrelatedParams::new(0.8).unwrap(),
+    ///     &mut rng,
+    /// );
+    /// let sharded = ShardedIndex::build(&index, ShardStrategy::ByDataset, 2);
+    ///
+    /// let dir = std::env::temp_dir().join(format!(
+    ///     "skewsearch_doctest_deployment_{}",
+    ///     std::process::id()
+    /// ));
+    /// sharded.save(&dir).unwrap();
+    /// let restored: ShardedIndex<CorrelatedIndex> = ShardedIndex::load(&dir).unwrap();
+    /// std::fs::remove_dir_all(&dir).unwrap();
+    ///
+    /// let q = correlated_query(data.vector(4), &profile, 0.8, &mut rng);
+    /// assert_eq!(restored.search_all(&q), sharded.search_all(&q));
+    /// assert_eq!(restored.shard_count(), sharded.shard_count());
+    /// ```
+    pub fn save(&self, dir: &std::path::Path) -> Result<(), crate::persist::PersistError> {
+        std::fs::create_dir_all(dir)?;
+        let mut entries = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let file = format!("shard-{i:04}.skx");
+            shard.index.save(&dir.join(&file))?;
+            entries.push(crate::persist::ShardManifestEntry {
+                file,
+                pass_offset: shard.pass_offset,
+                id_map: shard.id_map.clone(),
+            });
+        }
+        let manifest = crate::persist::ShardManifest {
+            strategy: self.strategy,
+            threshold: self.threshold,
+            len: self.len,
+            next_id: self.next_id,
+            plan_broadcast: self.plan_broadcast,
+            owner: self.owner.clone(),
+            shards: entries,
+        };
+        crate::persist::write_container(
+            &dir.join("manifest.skx"),
+            crate::persist::kind::MANIFEST,
+            &manifest.encode(),
+        )
+    }
+
+    /// Restores a deployment saved by [`ShardedIndex::save`]: reads and
+    /// validates `dir/manifest.skx`, then loads every shard file it lists.
+    /// Fails with a typed [`crate::persist::PersistError`] on a corrupt
+    /// manifest, a missing or corrupt shard file, or a manifest listing no
+    /// shards — never panics.
+    ///
+    /// The fan-out/batch worker counts are runtime knobs, not index state;
+    /// they reset to their defaults (one worker per core) and can be re-set
+    /// with [`ShardedIndex::with_fanout_threads`] /
+    /// [`ShardedIndex::with_query_threads`].
+    pub fn load(dir: &std::path::Path) -> Result<Self, crate::persist::PersistError> {
+        let payload = crate::persist::read_container(
+            &dir.join("manifest.skx"),
+            crate::persist::kind::MANIFEST,
+        )?;
+        let manifest = crate::persist::ShardManifest::decode(&payload)?;
+        if manifest.shards.is_empty() {
+            return Err(crate::persist::PersistError::Malformed(
+                "manifest lists no shards",
+            ));
+        }
+        let mut shards = Vec::with_capacity(manifest.shards.len());
+        for entry in &manifest.shards {
+            let index = S::load(&dir.join(&entry.file))?;
+            shards.push(Shard {
+                index,
+                pass_offset: entry.pass_offset,
+                id_map: entry.id_map.clone(),
+            });
+        }
+        Ok(Self {
+            shards,
+            strategy: manifest.strategy,
+            threshold: manifest.threshold,
+            len: manifest.len,
+            next_id: manifest.next_id,
+            owner: manifest.owner,
+            fanout_threads: 0,
+            query_threads: 0,
+            plan_broadcast: manifest.plan_broadcast,
+        })
+    }
+}
+
 impl<S: Shardable + Send + Sync> SetSimilaritySearch for ShardedIndex<S> {
     /// Exactly the hit the unsharded index's early-exiting `search` returns,
     /// found without running any shard past its own first verified hit.

@@ -10,8 +10,14 @@
 //! repro scaling [--uniform] [--full]    Theorem 1/2 candidate scaling
 //! repro sharded [--shards a,b,c]        sharded-vs-unsharded equivalence sweep
 //! repro recall                          Lemma 5 recall-vs-repetitions
+//! repro save --dir PATH [--scale N]     build an index suite, persist it, print answers
+//! repro load --dir PATH [--scale N]     reload that suite, print the same answers
 //! repro all                             everything, default parameters
 //! ```
+//!
+//! `save`/`load` are the persistence smoke: run `save`, then `load` in a
+//! fresh process against the same `--dir` (and the same `--scale/--seed`),
+//! and diff the two outputs — they must be byte-identical.
 //!
 //! Output is TSV on stdout (`# title` line, header, rows), suitable for
 //! redirecting straight into plotting scripts.
@@ -31,6 +37,8 @@ fn main() {
         "scaling" => run_scaling(&args),
         "sharded" => run_sharded(&args),
         "recall" => run_recall(&args),
+        "save" => run_persist(&args, true),
+        "load" => run_persist(&args, false),
         "all" => {
             run_fig1(&args);
             run_fig2(&args);
@@ -45,9 +53,9 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: repro <fig1|fig2|table1|sec7-adversarial|sec7-correlated|\
-                 motivating|scaling|sharded|recall|all> [options]\n\
+                 motivating|scaling|sharded|recall|save|load|all> [options]\n\
                  options: --steps N --scale N --file PATH --log2n K --d N --i1 X \
-                 --uniform --full --seed S --shards a,b,c"
+                 --uniform --full --seed S --shards a,b,c --dir PATH"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
@@ -183,6 +191,31 @@ fn run_sharded(args: &[String]) {
         s.all_identical(),
         "sharded answers diverged from the unsharded index"
     );
+}
+
+fn run_persist(args: &[String], saving: bool) {
+    let dir = opt(args, "--dir", String::new());
+    if dir.is_empty() {
+        eprintln!(
+            "repro {}: --dir PATH is required",
+            if saving { "save" } else { "load" }
+        );
+        std::process::exit(2);
+    }
+    let mut config = skewsearch_experiments::persistence::PersistConfig::default_config();
+    config.scale = opt(args, "--scale", config.scale);
+    config.seed = opt(args, "--seed", config.seed);
+    config.shards = opt(args, "--shards", config.shards);
+    let dir = std::path::PathBuf::from(dir);
+    let result = if saving {
+        skewsearch_experiments::persistence::save(&config, &dir)
+    } else {
+        skewsearch_experiments::persistence::load(&config, &dir)
+    };
+    let table =
+        result.unwrap_or_else(|e| panic!("repro {}: {e}", if saving { "save" } else { "load" }));
+    print!("{}", table.render_tsv());
+    println!();
 }
 
 fn run_recall(args: &[String]) {

@@ -13,6 +13,7 @@
 //! | [`motivating`] | §1 motivating example (harmonic split) |
 //! | [`scaling`] | Theorems 1–2 empirical validation (candidate scaling, added) |
 //! | [`recall`] | Lemma 5 repetition boost (added) |
+//! | [`persistence`] | save/load cross-process equivalence smoke (added) |
 //!
 //! Each module exposes a pure `compute`/`run` function returning structured
 //! results plus [`table::Table`] renderers; the `repro` binary wires them to
@@ -24,6 +25,7 @@
 pub mod fig1;
 pub mod fig2;
 pub mod motivating;
+pub mod persistence;
 pub mod recall;
 pub mod scaling;
 pub mod sec7;

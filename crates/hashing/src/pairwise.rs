@@ -32,9 +32,17 @@ impl PairwiseU64 {
         }
     }
 
-    /// Builds from explicit coefficients (for tests / reproducibility).
+    /// Builds from explicit coefficients (for tests / reproducibility /
+    /// persistence).
     pub const fn from_coefficients(a: u128, b: u128) -> Self {
         Self { a, b }
+    }
+
+    /// The coefficients `(a, b)` this function was drawn with. Together with
+    /// [`PairwiseU64::from_coefficients`] this round-trips the function
+    /// exactly, which is what the on-disk index format relies on.
+    pub const fn coefficients(&self) -> (u128, u128) {
+        (self.a, self.b)
     }
 
     /// Hashes to a full 64-bit value.
@@ -66,6 +74,19 @@ impl PairwiseU128 {
             a2: rng.random::<u128>(),
             b: rng.random::<u128>(),
         }
+    }
+
+    /// Builds from explicit coefficients (for tests / reproducibility /
+    /// persistence).
+    pub const fn from_coefficients(a1: u128, a2: u128, b: u128) -> Self {
+        Self { a1, a2, b }
+    }
+
+    /// The coefficients `(a1, a2, b)` this function was drawn with. Together
+    /// with [`PairwiseU128::from_coefficients`] this round-trips the function
+    /// exactly, which is what the on-disk index format relies on.
+    pub const fn coefficients(&self) -> (u128, u128, u128) {
+        (self.a1, self.a2, self.b)
     }
 
     /// Hashes to a full 64-bit value.

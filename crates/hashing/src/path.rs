@@ -75,6 +75,20 @@ impl LevelHasher {
         }
     }
 
+    /// Rebuilds a level hasher from the coefficients of its underlying
+    /// pairwise function (the persistence round-trip counterpart of
+    /// [`LevelHasher::coefficients`]).
+    pub const fn from_coefficients(a1: u128, a2: u128, b: u128) -> Self {
+        Self {
+            inner: PairwiseU128::from_coefficients(a1, a2, b),
+        }
+    }
+
+    /// The coefficients `(a1, a2, b)` of the underlying pairwise function.
+    pub const fn coefficients(&self) -> (u128, u128, u128) {
+        self.inner.coefficients()
+    }
+
     /// `h_j(v)` as a point in `[0, 1)`.
     #[inline]
     pub fn unit(&self, key: PathKey) -> f64 {
@@ -102,6 +116,18 @@ impl PathHasherStack {
         Self {
             levels: (0..k).map(|_| LevelHasher::sample(rng)).collect(),
         }
+    }
+
+    /// Rebuilds a stack from previously sampled level hashers (the
+    /// persistence round-trip counterpart of [`PathHasherStack::levels`]).
+    pub fn from_levels(levels: Vec<LevelHasher>) -> Self {
+        Self { levels }
+    }
+
+    /// The level hashers `h_1, …, h_k` in order.
+    #[inline]
+    pub fn levels(&self) -> &[LevelHasher] {
+        &self.levels
     }
 
     /// Maximum supported path length `k`.

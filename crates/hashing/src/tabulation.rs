@@ -80,6 +80,31 @@ impl TabulationU128 {
         Self { tables }
     }
 
+    /// Number of `u64` words in the flattened table representation
+    /// (16 tables × 256 entries).
+    pub const WORDS: usize = 16 * 256;
+
+    /// Flattens the tables into `16 × 256 = 4096` words, table-major
+    /// (table 0 entries 0..256, then table 1, …). The persistence
+    /// round-trip counterpart of [`TabulationU128::from_words`].
+    pub fn to_words(&self) -> Vec<u64> {
+        self.tables.iter().flatten().copied().collect()
+    }
+
+    /// Rebuilds a function from the flattened representation produced by
+    /// [`TabulationU128::to_words`]. Returns `None` unless exactly
+    /// [`TabulationU128::WORDS`] words are supplied.
+    pub fn from_words(words: &[u64]) -> Option<Self> {
+        if words.len() != Self::WORDS {
+            return None;
+        }
+        let mut tables = Box::new([[0u64; 256]; 16]);
+        for (i, t) in tables.iter_mut().enumerate() {
+            t.copy_from_slice(&words[i * 256..(i + 1) * 256]);
+        }
+        Some(Self { tables })
+    }
+
     /// Hashes a 128-bit key down to 64 bits.
     #[inline]
     pub fn hash(&self, x: u128) -> u64 {
