@@ -200,6 +200,9 @@ impl SetSimilaritySearch for ChosenPathIndex {
     fn supports_mutation(&self) -> bool {
         true
     }
+    fn memory_stats(&self) -> skewsearch_core::MemoryStats {
+        self.inner.memory_stats()
+    }
     fn threshold(&self) -> f64 {
         self.inner.threshold()
     }
@@ -237,18 +240,20 @@ impl skewsearch_core::Persist for ChosenPathIndex {
     /// wrapper adds) followed by the embedded LSF payload — see
     /// `docs/PERSISTENCE.md` §5.
     fn save(&self, path: &std::path::Path) -> Result<(), skewsearch_core::PersistError> {
+        let version = skewsearch_core::persist::effective_write_version();
         let mut w = skewsearch_core::persist::Writer::new();
         w.put_f64(self.b2);
-        self.inner.write_payload(&mut w);
-        skewsearch_core::persist::write_container(
+        self.inner.write_payload(&mut w, version);
+        skewsearch_core::persist::write_container_versioned(
             path,
             skewsearch_core::persist::kind::CHOSEN_PATH,
             &w.into_payload(),
+            version,
         )
     }
 
     fn load(path: &std::path::Path) -> Result<Self, skewsearch_core::PersistError> {
-        let payload = skewsearch_core::persist::read_container(
+        let (payload, version) = skewsearch_core::persist::read_container_versioned(
             path,
             skewsearch_core::persist::kind::CHOSEN_PATH,
         )?;
@@ -259,7 +264,7 @@ impl skewsearch_core::Persist for ChosenPathIndex {
                 "b2 must lie in (0, 1)",
             ));
         }
-        let inner = LsfIndex::read_payload(&mut r)?;
+        let inner = LsfIndex::read_payload(&mut r, version)?;
         if !r.is_empty() {
             return Err(skewsearch_core::PersistError::Malformed(
                 "trailing bytes after index payload",

@@ -356,6 +356,36 @@ impl SetSimilaritySearch for MinHashLsh {
         skewsearch_core::batch_map(queries, self.params.query_threads, |q| self.search_best(q))
     }
 
+    /// Band buckets as posting bytes, stored vectors, and per-band hash
+    /// coefficients as aux — the same capacity-based accounting the LSF
+    /// indexes report.
+    fn memory_stats(&self) -> skewsearch_core::MemoryStats {
+        let mut posting = 0usize;
+        let mut aux = 0usize;
+        for band in &self.bands {
+            posting += band.buckets.capacity()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>() + 1);
+            posting += band
+                .buckets
+                // lint:allow(nondeterministic-iter, sum of bucket capacities is an order-independent reduction)
+                .values()
+                .map(|b| b.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>();
+            aux += band.hashes.capacity() * std::mem::size_of::<PairwiseU64>();
+        }
+        let vector_bytes = self.vectors.capacity() * std::mem::size_of::<SparseVec>()
+            + self
+                .vectors
+                .iter()
+                .map(|v| std::mem::size_of_val(v.dims()))
+                .sum::<usize>();
+        skewsearch_core::MemoryStats {
+            posting_bytes: posting,
+            vector_bytes,
+            aux_bytes: aux,
+        }
+    }
+
     fn threshold(&self) -> f64 {
         self.threshold
     }

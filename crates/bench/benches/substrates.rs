@@ -52,6 +52,25 @@ fn bench_hashmaps(c: &mut Criterion) {
     let keys: Vec<u128> = (0..20_000u128)
         .map(|i| i.wrapping_mul(0x9E3779B9))
         .collect();
+    // ns/op alone hides half the trade-off: report resident bytes for each
+    // substrate next to the timing rows. Both maps store (u128, u32) entries;
+    // capacity × slot size approximates the table's heap footprint (one
+    // control byte per slot for the Swiss-table layout).
+    {
+        let mut fx: FxHashMap<u128, u32> = FxHashMap::default();
+        let mut std_map: HashMap<u128, u32> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            fx.insert(k, i as u32);
+            std_map.insert(k, i as u32);
+        }
+        let slot = std::mem::size_of::<u128>() + std::mem::size_of::<u32>() + 1;
+        eprintln!(
+            "bucket_map_u128: {} keys, fx_hashmap ~{}B resident, std_siphash ~{}B resident ({slot}B/slot)",
+            keys.len(),
+            fx.capacity() * slot,
+            std_map.capacity() * slot,
+        );
+    }
     let mut g = c.benchmark_group("bucket_map_u128");
     g.bench_function("fx_hashmap", |b| {
         b.iter(|| {

@@ -155,6 +155,9 @@ impl SetSimilaritySearch for AdversarialIndex {
     fn supports_mutation(&self) -> bool {
         true
     }
+    fn memory_stats(&self) -> crate::traits::MemoryStats {
+        self.inner.memory_stats()
+    }
     fn threshold(&self) -> f64 {
         self.inner.threshold()
     }
@@ -190,15 +193,22 @@ impl crate::persist::Persist for AdversarialIndex {
     /// payload is the embedded LSF payload verbatim — only the container
     /// kind distinguishes the file (see `docs/PERSISTENCE.md` §5).
     fn save(&self, path: &std::path::Path) -> Result<(), crate::persist::PersistError> {
+        let version = crate::persist::effective_write_version();
         let mut w = crate::persist::Writer::new();
-        self.inner.write_payload(&mut w);
-        crate::persist::write_container(path, crate::persist::kind::ADVERSARIAL, &w.into_payload())
+        self.inner.write_payload(&mut w, version);
+        crate::persist::write_container_versioned(
+            path,
+            crate::persist::kind::ADVERSARIAL,
+            &w.into_payload(),
+            version,
+        )
     }
 
     fn load(path: &std::path::Path) -> Result<Self, crate::persist::PersistError> {
-        let payload = crate::persist::read_container(path, crate::persist::kind::ADVERSARIAL)?;
+        let (payload, version) =
+            crate::persist::read_container_versioned(path, crate::persist::kind::ADVERSARIAL)?;
         let mut r = crate::persist::Reader::new(&payload);
-        let inner = LsfIndex::read_payload(&mut r)?;
+        let inner = LsfIndex::read_payload(&mut r, version)?;
         if !r.is_empty() {
             return Err(crate::persist::PersistError::Malformed(
                 "trailing bytes after index payload",

@@ -204,6 +204,9 @@ impl SetSimilaritySearch for CorrelatedIndex {
     fn supports_mutation(&self) -> bool {
         true
     }
+    fn memory_stats(&self) -> crate::traits::MemoryStats {
+        self.inner.memory_stats()
+    }
     fn threshold(&self) -> f64 {
         self.inner.threshold()
     }
@@ -242,6 +245,7 @@ impl crate::persist::Persist for CorrelatedIndex {
     /// Kind-2 container: `α`, the model diagnostics (`C` + warnings), then
     /// the embedded LSF payload — see `docs/PERSISTENCE.md` §5.
     fn save(&self, path: &std::path::Path) -> Result<(), crate::persist::PersistError> {
+        let version = crate::persist::effective_write_version();
         let mut w = crate::persist::Writer::new();
         w.put_f64(self.alpha);
         w.put_f64(self.diagnostics.c);
@@ -249,13 +253,19 @@ impl crate::persist::Persist for CorrelatedIndex {
         for warning in &self.diagnostics.warnings {
             w.put_str(warning);
         }
-        self.inner.write_payload(&mut w);
-        crate::persist::write_container(path, crate::persist::kind::CORRELATED, &w.into_payload())
+        self.inner.write_payload(&mut w, version);
+        crate::persist::write_container_versioned(
+            path,
+            crate::persist::kind::CORRELATED,
+            &w.into_payload(),
+            version,
+        )
     }
 
     fn load(path: &std::path::Path) -> Result<Self, crate::persist::PersistError> {
         use crate::persist::PersistError;
-        let payload = crate::persist::read_container(path, crate::persist::kind::CORRELATED)?;
+        let (payload, version) =
+            crate::persist::read_container_versioned(path, crate::persist::kind::CORRELATED)?;
         let mut r = crate::persist::Reader::new(&payload);
         let alpha = r.get_f64()?;
         if !(alpha > 0.0 && alpha <= 1.0) {
@@ -267,7 +277,7 @@ impl crate::persist::Persist for CorrelatedIndex {
         for _ in 0..warning_count {
             warnings.push(r.get_string()?);
         }
-        let inner = LsfIndex::read_payload(&mut r)?;
+        let inner = LsfIndex::read_payload(&mut r, version)?;
         if !r.is_empty() {
             return Err(PersistError::Malformed(
                 "trailing bytes after index payload",

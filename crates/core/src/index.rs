@@ -22,12 +22,14 @@
 use crate::batch::batch_map;
 use crate::engine::{enumerate_filters_with, EnumContext, EnumStats, DEFAULT_NODE_BUDGET};
 use crate::persist::{
-    kind, read_bucket_map, read_container, write_bucket_map, write_container, Persist,
-    PersistError, PersistScheme, Reader, Writer,
+    compress_bucket_map, effective_write_version, kind, read_bucket_map, read_container_versioned,
+    read_postings, write_bucket_map, write_container_versioned, write_postings,
+    write_postings_as_bucket_map, Persist, PersistError, PersistScheme, Reader, Writer,
 };
 use crate::plan::QueryPlan;
+use crate::postings::{CompressedPostings, PostingsEncoder};
 use crate::scheme::ThresholdScheme;
-use crate::traits::{Match, SetSimilaritySearch};
+use crate::traits::{Match, MemoryStats, SetSimilaritySearch};
 use rand::{Rng, SeedableRng};
 use skewsearch_datagen::BernoulliProfile;
 use skewsearch_hashing::{FxHashMap, FxHashSet, PathHasherStack, TabulationU128};
@@ -145,18 +147,22 @@ pub struct QueryStats {
 /// One repetition: an independently drawn hash stack, its key interner, and
 /// its inverted index over interned 64-bit bucket keys.
 ///
-/// The inverted index is log-structured: `buckets` is the immutable **base
-/// segment** (filled at build time or by [`LsfIndex::compact`]) and `delta`
-/// is the small mutable segment absorbing incremental inserts. A probe walks
-/// the base bucket for a key, then the delta bucket. Every id in `delta`
-/// exceeds every id in `buckets` (inserts are assigned ids past
-/// `LsfIndex::base_len`), so the concatenated walk visits ids in exactly the
-/// ascending order a from-scratch build over the same sets would store —
-/// which is what keeps mutated answers byte-identical to a rebuild.
+/// The inverted index is log-structured: `base` is the immutable **base
+/// segment** (filled at build time or by [`LsfIndex::compact`]), stored as
+/// [`CompressedPostings`] — sorted keys + byte offsets into one delta+varint
+/// arena — and `delta` is the small mutable segment absorbing incremental
+/// inserts as plain uncompressed buckets. A probe walks the base bucket for
+/// a key (streaming-decoded by a [`crate::postings::PostingsCursor`], zero
+/// allocation), then the delta bucket. Every id in `delta` exceeds every id
+/// in `base` (inserts are assigned ids past `LsfIndex::base_len`), so the
+/// concatenated walk visits ids in exactly the ascending order a
+/// from-scratch build over the same sets would store — which is what keeps
+/// mutated answers byte-identical to a rebuild. Build and compaction are
+/// the only two sites that encode a base segment.
 struct Repetition {
     hashers: PathHasherStack,
     interner: TabulationU128,
-    buckets: FxHashMap<u64, Vec<u32>>,
+    base: CompressedPostings,
     delta: FxHashMap<u64, Vec<u32>>,
 }
 
@@ -182,12 +188,20 @@ fn probe_pass_keys(
     for (step, key) in keys.iter().enumerate() {
         // Base segment first, then the delta segment: delta ids all exceed
         // base ids, so this is ascending-id order — the order a rebuild
-        // would store (see [`Repetition`]).
-        // lint:allow(nondeterministic-iter, this loop walks a two-element array of keyed `get` lookups — base then delta, a fixed order — not the map's own iteration order)
-        for bucket in [rep.buckets.get(key), rep.delta.get(key)]
-            .into_iter()
-            .flatten()
-        {
+        // would store (see [`Repetition`]). The base bucket is streamed
+        // straight out of the compressed arena — no decode buffer.
+        if let Some(cursor) = rep.base.get(*key) {
+            for id in cursor {
+                stats.candidates += 1;
+                if seen.insert(id) {
+                    stats.verified += 1;
+                    if !visit(pass, step as u32, id) {
+                        return false;
+                    }
+                }
+            }
+        }
+        if let Some(bucket) = rep.delta.get(key) {
             stats.candidates += bucket.len();
             for &id in bucket {
                 if seen.insert(id) {
@@ -377,24 +391,28 @@ impl<S: ThresholdScheme> LsfIndex<S> {
                 options.node_budget,
                 options.build_threads,
             );
-            let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+            // Concatenate chunks (already in ascending id order) and stable-
+            // sort by key: within each key the ids stay ascending — exactly
+            // the encoder's input contract, for any thread count.
+            let mut pairs: Vec<(u32, u64)> = Vec::new();
             for chunk in chunks {
                 build_stats.total_filters += chunk.pairs.len();
-                for (id, key) in chunk.pairs {
-                    buckets.entry(key).or_default().push(id);
-                }
+                pairs.extend(chunk.pairs);
                 truncated.extend(chunk.truncated);
                 depth_capped.extend(chunk.depth_capped);
             }
-            build_stats.distinct_buckets += buckets.len();
-            build_stats.max_bucket = build_stats
-                .max_bucket
-                // lint:allow(nondeterministic-iter, max over bucket sizes is an order-independent reduction — the result is the same for every visit order)
-                .max(buckets.values().map(Vec::len).max().unwrap_or(0));
+            pairs.sort_by_key(|&(_, key)| key);
+            let mut enc = PostingsEncoder::new();
+            for (id, key) in pairs {
+                enc.push(key, id);
+            }
+            let base = enc.finish();
+            build_stats.distinct_buckets += base.bucket_count();
+            build_stats.max_bucket = build_stats.max_bucket.max(base.max_bucket_len());
             reps.push(Repetition {
                 hashers,
                 interner,
-                buckets,
+                base,
                 delta: FxHashMap::default(),
             });
         }
@@ -655,6 +673,45 @@ impl<S: ThresholdScheme> LsfIndex<S> {
         self.reps.len()
     }
 
+    /// Resident heap bytes of this index by role — the accounting behind
+    /// the memory-diet target. `posting_bytes` is exact for the compressed
+    /// base segments (three flat arrays, measured by capacity) and a
+    /// load-factor-aware estimate for the uncompressed delta maps;
+    /// `aux_bytes` covers hash coefficients, interner tables, and the
+    /// tombstone bitmap. Deterministic for a deterministic build — which
+    /// is what lets `benches/postings.rs` compare substrates.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut posting = 0usize;
+        let mut aux = 0usize;
+        for rep in &self.reps {
+            posting += rep.base.heap_bytes();
+            // Delta estimate: per-slot map overhead (key + Vec header +
+            // control byte) plus each bucket's id storage.
+            posting += rep.delta.capacity()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>() + 1);
+            posting += rep
+                .delta
+                // lint:allow(nondeterministic-iter, sum of bucket capacities is an order-independent reduction)
+                .values()
+                .map(|b| b.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>();
+            aux += rep.interner.to_words().len() * std::mem::size_of::<u64>();
+            aux += rep.hashers.levels().len() * 3 * std::mem::size_of::<u128>();
+        }
+        aux += self.alive.capacity();
+        let vector_bytes = self.vectors.capacity() * std::mem::size_of::<SparseVec>()
+            + self
+                .vectors
+                .iter()
+                .map(|v| std::mem::size_of_val(v.dims()))
+                .sum::<usize>();
+        MemoryStats {
+            posting_bytes: posting,
+            vector_bytes,
+            aux_bytes: aux,
+        }
+    }
+
     /// Incrementally indexes `set` in the delta segments and returns its
     /// slot id (the infallible core of [`SetSimilaritySearch::insert`]).
     ///
@@ -735,18 +792,48 @@ impl<S: ThresholdScheme> LsfIndex<S> {
         }
         let alive = &self.alive;
         for rep in &mut self.reps {
-            // lint:allow(nondeterministic-iter, per-bucket tombstone pruning: each bucket is rewritten independently, so the map's visit order cannot affect the retained content)
-            rep.buckets.retain(|_, bucket| {
-                bucket.retain(|&id| alive[id as usize]);
-                !bucket.is_empty()
-            });
-            // lint:allow(nondeterministic-iter, per-key merge into the base segment: each key is merged independently, so the drain order cannot affect the resulting map)
-            for (key, mut ids) in rep.delta.drain() {
-                ids.retain(|&id| alive[id as usize]);
-                if !ids.is_empty() {
-                    rep.buckets.entry(key).or_default().extend(ids);
+            // Re-encode the base segment: a sorted-merge of the old base
+            // (already in ascending key order) with the delta keys, pruning
+            // tombstoned ids as they stream past. Per key the encoder sees
+            // base survivors (ascending ids) then that key's delta ids
+            // (also ascending, all larger) — the pre-compaction walk order
+            // minus dead ids, which is what keeps compaction
+            // answer-invariant.
+            // lint:allow(nondeterministic-iter, the delta keys are collected and sorted before the merge — the encoding is independent of the map's iteration order)
+            let mut delta_keys: Vec<u64> = rep.delta.keys().copied().collect();
+            delta_keys.sort_unstable();
+            let mut enc = PostingsEncoder::new();
+            let push_delta = |enc: &mut PostingsEncoder, key: u64| {
+                if let Some(bucket) = rep.delta.get(&key) {
+                    for &id in bucket {
+                        if alive[id as usize] {
+                            enc.push(key, id);
+                        }
+                    }
+                }
+            };
+            let mut di = 0usize;
+            for (key, cursor) in rep.base.iter() {
+                while di < delta_keys.len() && delta_keys[di] < key {
+                    push_delta(&mut enc, delta_keys[di]);
+                    di += 1;
+                }
+                for id in cursor {
+                    if alive[id as usize] {
+                        enc.push(key, id);
+                    }
+                }
+                if di < delta_keys.len() && delta_keys[di] == key {
+                    push_delta(&mut enc, key);
+                    di += 1;
                 }
             }
+            while di < delta_keys.len() {
+                push_delta(&mut enc, delta_keys[di]);
+                di += 1;
+            }
+            rep.base = enc.finish();
+            rep.delta = FxHashMap::default();
         }
         for (slot, &alive) in self.alive.iter().enumerate() {
             if !alive {
@@ -806,7 +893,7 @@ impl<S: ThresholdScheme> LsfIndex<S> {
             .map(|rep| Repetition {
                 hashers: rep.hashers.clone(),
                 interner: rep.interner.clone(),
-                buckets: rep.buckets.clone(),
+                base: rep.base.clone(),
                 delta: rep.delta.clone(),
             })
             .collect();
@@ -849,14 +936,30 @@ impl<S: ThresholdScheme> LsfIndex<S> {
                 })
                 .collect()
         };
+        // The base segment decodes bucket by bucket (key-ordered, ids
+        // ascending) into a reused scratch buffer, remaps, and re-encodes —
+        // the monotone remap preserves both encoder invariants.
+        let mut scratch: Vec<u32> = Vec::new();
         let reps: Vec<Repetition> = self
             .reps
             .iter()
-            .map(|rep| Repetition {
-                hashers: rep.hashers.clone(),
-                interner: rep.interner.clone(),
-                buckets: remap(&rep.buckets),
-                delta: remap(&rep.delta),
+            .map(|rep| {
+                let mut enc = PostingsEncoder::new();
+                for (key, cursor) in rep.base.iter() {
+                    scratch.clear();
+                    scratch.extend(cursor);
+                    if let Some(local) = crate::shard::remap_bucket(&scratch, &local_of) {
+                        for id in local {
+                            enc.push(key, id);
+                        }
+                    }
+                }
+                Repetition {
+                    hashers: rep.hashers.clone(),
+                    interner: rep.interner.clone(),
+                    base: enc.finish(),
+                    delta: remap(&rep.delta),
+                }
             })
             .collect();
         // Mutation state restricted to the shard's slots: liveness follows
@@ -898,16 +1001,11 @@ impl<S: ThresholdScheme> LsfIndex<S> {
         let live = alive.iter().filter(|a| **a).count();
         let build_stats = BuildStats {
             repetitions: reps.len(),
-            total_filters: reps
-                .iter()
-                // lint:allow(nondeterministic-iter, sum of bucket sizes is an order-independent reduction)
-                .map(|r| r.buckets.values().map(Vec::len).sum::<usize>())
-                .sum(),
-            distinct_buckets: reps.iter().map(|r| r.buckets.len()).sum(),
+            total_filters: reps.iter().map(|r| r.base.posting_count()).sum(),
+            distinct_buckets: reps.iter().map(|r| r.base.bucket_count()).sum(),
             max_bucket: reps
                 .iter()
-                // lint:allow(nondeterministic-iter, max over bucket sizes is an order-independent reduction)
-                .flat_map(|r| r.buckets.values().map(Vec::len))
+                .map(|r| r.base.max_bucket_len())
                 .max()
                 .unwrap_or(0),
             truncated_vectors: 0,
@@ -1044,6 +1142,11 @@ impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
         true
     }
 
+    /// Genuine accounting — see [`LsfIndex::memory_stats`].
+    fn memory_stats(&self) -> MemoryStats {
+        LsfIndex::memory_stats(self)
+    }
+
     fn threshold(&self) -> f64 {
         self.verify_threshold
     }
@@ -1066,10 +1169,15 @@ impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
 
 impl<S: ThresholdScheme + PersistScheme> LsfIndex<S> {
     /// Appends this index's complete state to `w` as the kind-1 payload of
-    /// `docs/PERSISTENCE.md` §4. Public because the wrapper indexes in
-    /// `skewsearch-baselines` embed this payload after their own fields;
-    /// most callers want [`Persist::save`] instead.
-    pub fn write_payload(&self, w: &mut Writer) {
+    /// `docs/PERSISTENCE.md` §4, encoded for container format `version`:
+    /// under v2 the base segments persist as compressed postings (sorted
+    /// keys + byte offsets + the delta/varint arena, verbatim); under v1
+    /// they are expanded to the legacy uncompressed bucket-map layout. The
+    /// delta segments use the bucket-map layout in both versions. Public
+    /// because the wrapper indexes in `skewsearch-baselines` embed this
+    /// payload after their own fields; most callers want [`Persist::save`]
+    /// instead.
+    pub fn write_payload(&self, w: &mut Writer, version: u32) {
         w.put_u32(S::SCHEME_TAG);
         self.scheme.encode_scheme(w);
         w.put_f64_slice(self.profile.ps());
@@ -1113,18 +1221,24 @@ impl<S: ThresholdScheme + PersistScheme> LsfIndex<S> {
                 w.put_u128(b);
             }
             w.put_u64_slice(&rep.interner.to_words());
-            write_bucket_map(w, &rep.buckets);
+            if version >= 2 {
+                write_postings(w, &rep.base);
+            } else {
+                write_postings_as_bucket_map(w, &rep.base);
+            }
             write_bucket_map(w, &rep.delta);
         }
     }
 
     /// Decodes an index from a payload written by
-    /// [`LsfIndex::write_payload`], validating every structural invariant
-    /// the query path relies on (offset tables monotone, ids in range and
-    /// ascending, hasher stacks exactly `depth_bound` deep, delta ids past
-    /// the base watermark). Never panics: corrupt bytes yield a
+    /// [`LsfIndex::write_payload`] for container format `version` (v1 base
+    /// segments are re-encoded to compressed postings on the way in),
+    /// validating every structural invariant the query path relies on
+    /// (offset tables monotone, ids in range and ascending, varint streams
+    /// well-formed, hasher stacks exactly `depth_bound` deep, delta ids
+    /// past the base watermark). Never panics: corrupt bytes yield a
     /// [`PersistError`]. Most callers want [`Persist::load`] instead.
-    pub fn read_payload(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+    pub fn read_payload(r: &mut Reader<'_>, version: u32) -> Result<Self, PersistError> {
         let tag = r.get_u32()?;
         if tag != S::SCHEME_TAG {
             return Err(PersistError::Malformed(
@@ -1208,12 +1322,16 @@ impl<S: ThresholdScheme + PersistScheme> LsfIndex<S> {
             let interner = TabulationU128::from_words(&words).ok_or(PersistError::Malformed(
                 "interner table word count mismatch",
             ))?;
-            let buckets = read_bucket_map(r, n, 0)?;
+            let base = if version >= 2 {
+                read_postings(r, n, 0)?
+            } else {
+                compress_bucket_map(&read_bucket_map(r, n, 0)?)
+            };
             let delta = read_bucket_map(r, n, base_len as u32)?;
             reps.push(Repetition {
                 hashers: PathHasherStack::from_levels(levels),
                 interner,
-                buckets,
+                base,
                 delta,
             });
         }
@@ -1238,15 +1356,18 @@ impl<S: ThresholdScheme + PersistScheme> LsfIndex<S> {
 
 impl<S: ThresholdScheme + PersistScheme> Persist for LsfIndex<S> {
     fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
+        // Resolve the write version once: the payload encoding and the
+        // container header must agree.
+        let version = effective_write_version();
         let mut w = Writer::new();
-        self.write_payload(&mut w);
-        write_container(path, kind::LSF, &w.into_payload())
+        self.write_payload(&mut w, version);
+        write_container_versioned(path, kind::LSF, &w.into_payload(), version)
     }
 
     fn load(path: &std::path::Path) -> Result<Self, PersistError> {
-        let payload = read_container(path, kind::LSF)?;
+        let (payload, version) = read_container_versioned(path, kind::LSF)?;
         let mut r = Reader::new(&payload);
-        let index = Self::read_payload(&mut r)?;
+        let index = Self::read_payload(&mut r, version)?;
         if !r.is_empty() {
             return Err(PersistError::Malformed(
                 "trailing bytes after index payload",

@@ -73,6 +73,7 @@ pub mod engine;
 pub mod index;
 pub mod persist;
 pub mod plan;
+pub mod postings;
 pub mod scheme;
 pub mod shard;
 pub mod split;
@@ -90,9 +91,10 @@ pub use engine::{
 pub use index::{BuildStats, IndexOptions, LsfIndex, QueryStats, Repetitions};
 pub use persist::{Persist, PersistError, PersistScheme, ShardManifest, ShardManifestEntry};
 pub use plan::QueryPlan;
+pub use postings::{CompressedPostings, PostingsCursor, PostingsEncoder, PostingsError};
 pub use scheme::{AdversarialScheme, ChosenPathScheme, CorrelatedScheme, ThresholdScheme};
 pub use shard::{set_partition_key, ShardStrategy, Shardable, ShardedIndex};
 pub use split::{
     balance_split, balance_split_normalized, balanced_exponents, SplitIndex, SplitParams,
 };
-pub use traits::{Match, MutationError, SetId, SetSimilaritySearch, TaggedMatch};
+pub use traits::{Match, MemoryStats, MutationError, SetId, SetSimilaritySearch, TaggedMatch};

@@ -18,7 +18,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic "SKSWIDX1"
-//! 8       4     format version (u32 LE, currently 1)
+//! 8       4     format version (u32 LE, currently 2)
 //! 12      4     container kind (u32 LE, see `kind::*`)
 //! 16      8     payload length in bytes (u64 LE)
 //! 24      8     FNV-1a-64 checksum of the payload (u64 LE)
@@ -59,7 +59,23 @@ pub const MAGIC: [u8; 8] = *b"SKSWIDX1";
 /// Current container format version. Bump on any layout change; readers
 /// reject files whose version they do not understand (see
 /// `docs/PERSISTENCE.md` for the version-bump policy).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history: **1** — uncompressed bucket maps everywhere; **2** —
+/// LSF base segments persist as compressed postings (sorted keys + byte
+/// offsets + delta/varint arena, `docs/PERSISTENCE.md` §format-v2). Readers
+/// accept `1..=FORMAT_VERSION`; writers emit [`FORMAT_VERSION`] unless the
+/// `SKEWSEARCH_FORCE_V1` environment toggle pins the legacy layout.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The version new containers are written at: [`FORMAT_VERSION`], unless
+/// the environment variable `SKEWSEARCH_FORCE_V1=1` forces the legacy v1
+/// layout (used by CI to keep the v1 write/read fallback exercised).
+pub fn effective_write_version() -> u32 {
+    match std::env::var("SKEWSEARCH_FORCE_V1") {
+        Ok(v) if v == "1" => 1,
+        _ => FORMAT_VERSION,
+    }
+}
 
 /// Container kinds: what structure a `.skx` file holds. A reader checks the
 /// kind before touching the payload, so loading a file as the wrong type
@@ -141,7 +157,7 @@ impl std::fmt::Display for PersistError {
             PersistError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported format version {v} (this reader understands {FORMAT_VERSION})"
+                    "unsupported format version {v} (this reader understands 1..={FORMAT_VERSION})"
                 )
             }
             PersistError::WrongKind { expected, found } => {
@@ -286,6 +302,14 @@ impl Writer {
         for &v in vs {
             self.buf.extend_from_slice(&v.to_le_bytes());
         }
+        self.pad_to_8();
+    }
+
+    /// Writes a length-prefixed raw byte array, padded to an 8-byte
+    /// boundary — the encoding of the compressed postings arena.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
         self.pad_to_8();
     }
 
@@ -435,6 +459,15 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// Reads a length-prefixed, 8-padded raw byte array written by
+    /// [`Writer::put_bytes`].
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, PersistError> {
+        let n = self.get_len(1)?;
+        let out = self.take(n)?.to_vec();
+        self.skip_pad_to_8()?;
+        Ok(out)
+    }
+
     /// Reads a length-prefixed, 8-padded UTF-8 string.
     pub fn get_string(&mut self) -> Result<String, PersistError> {
         let n = self.get_len(1)?;
@@ -538,14 +571,110 @@ pub fn read_bucket_map(
     Ok(map)
 }
 
+/// Writes one [`crate::postings::CompressedPostings`] as three aligned
+/// fields: the sorted key array, the **byte**-offset table
+/// (`keys.len() + 1` entries into the arena), and the delta+varint arena
+/// itself, persisted verbatim — the format-v2 base-segment encoding
+/// (`docs/PERSISTENCE.md` §format-v2). Contrast with [`write_bucket_map`],
+/// whose offsets count *ids*, not bytes.
+pub fn write_postings(w: &mut Writer, p: &crate::postings::CompressedPostings) {
+    // lint:allow(nondeterministic-iter, CompressedPostings::keys is the sorted key array of the compressed encoding — a Vec accessor, not a hash map)
+    w.put_u64_slice(p.keys());
+    w.put_u64_slice(p.offsets());
+    w.put_bytes(p.arena());
+}
+
+/// Decodes a posting map written by [`write_postings`], delegating every
+/// structural check (key order, offset consistency, varint well-formedness,
+/// strictly ascending ids in `min_id..n_slots`) to
+/// [`crate::postings::CompressedPostings::from_parts`]. Corruption maps to
+/// [`PersistError::Malformed`] naming the violated invariant.
+pub fn read_postings(
+    r: &mut Reader<'_>,
+    n_slots: usize,
+    min_id: u32,
+) -> Result<crate::postings::CompressedPostings, PersistError> {
+    use crate::postings::PostingsError;
+    let keys = r.get_u64_vec()?;
+    let offsets = r.get_u64_vec()?;
+    let arena = r.get_bytes()?;
+    crate::postings::CompressedPostings::from_parts(keys, offsets, arena, n_slots, min_id).map_err(
+        |e| {
+            PersistError::Malformed(match e {
+                PostingsError::Truncated => "postings varint truncated mid-bucket",
+                PostingsError::Overflow => "postings varint exceeds u32 range",
+                PostingsError::NonMonotone => "postings bucket ids not strictly ascending",
+                PostingsError::KeyOrder => "postings keys not strictly ascending",
+                PostingsError::OffsetTable => "postings offset table inconsistent",
+                PostingsError::IdOutOfRange => "postings id outside slot range",
+            })
+        },
+    )
+}
+
+/// Writes a [`crate::postings::CompressedPostings`] in the **v1**
+/// bucket-map layout (sorted keys, id-count offsets, flat id array) so a
+/// current index can still produce files legacy readers accept — the
+/// `SKEWSEARCH_FORCE_V1` write path.
+pub fn write_postings_as_bucket_map(w: &mut Writer, p: &crate::postings::CompressedPostings) {
+    let mut keys: Vec<u64> = Vec::with_capacity(p.bucket_count());
+    let mut offsets: Vec<u64> = Vec::with_capacity(p.bucket_count() + 1);
+    offsets.push(0);
+    let mut flat: Vec<u32> = Vec::with_capacity(p.posting_count());
+    for (key, cursor) in p.iter() {
+        keys.push(key);
+        flat.extend(cursor);
+        offsets.push(flat.len() as u64);
+    }
+    w.put_u64_slice(&keys);
+    w.put_u64_slice(&offsets);
+    w.put_u32_slice(&flat);
+}
+
+/// Re-encodes a decoded v1 bucket map as compressed postings — the upgrade
+/// half of the v1 read fallback. Infallible: [`read_bucket_map`] has
+/// already enforced sorted keys and strictly ascending in-range ids, which
+/// is exactly the encoder's input contract.
+pub fn compress_bucket_map(map: &FxHashMap<u64, Vec<u32>>) -> crate::postings::CompressedPostings {
+    // lint:allow(nondeterministic-iter, the keys are collected and sorted before any posting is encoded — the result is independent of the map's iteration order)
+    let mut keys: Vec<u64> = map.keys().copied().collect();
+    keys.sort_unstable();
+    let mut enc = crate::postings::PostingsEncoder::new();
+    for key in keys {
+        if let Some(bucket) = map.get(&key) {
+            for &id in bucket {
+                enc.push(key, id);
+            }
+        }
+    }
+    enc.finish()
+}
+
 /// Writes a container file: header (magic, version, `kind`, length,
 /// checksum) followed by `payload`. The write goes to a `.tmp` sibling first
 /// and is renamed into place, so a crash mid-write never leaves a
 /// half-written file at `path`.
+///
+/// Stamps [`effective_write_version`] — callers producing version-dependent
+/// payloads (the LSF family) must encode for that same version; see
+/// [`write_container_versioned`].
 pub fn write_container(path: &Path, kind: u32, payload: &[u8]) -> Result<(), PersistError> {
+    write_container_versioned(path, kind, payload, effective_write_version())
+}
+
+/// [`write_container`] with an explicit header version — the LSF save path
+/// resolves [`effective_write_version`] once, encodes its payload for that
+/// version, and stamps the same number here so header and payload can never
+/// disagree.
+pub fn write_container_versioned(
+    path: &Path,
+    kind: u32,
+    payload: &[u8],
+    version: u32,
+) -> Result<(), PersistError> {
     let mut file = Vec::with_capacity(32 + payload.len());
     file.extend_from_slice(&MAGIC);
-    file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    file.extend_from_slice(&version.to_le_bytes());
     file.extend_from_slice(&kind.to_le_bytes());
     file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     file.extend_from_slice(&fnv1a64(payload).to_le_bytes());
@@ -559,8 +688,20 @@ pub fn write_container(path: &Path, kind: u32, payload: &[u8]) -> Result<(), Per
 /// Reads and validates a container file, returning its payload. Checks, in
 /// order: magic, format version, container kind, declared payload length,
 /// and the FNV-1a-64 checksum — each failure maps to its own
-/// [`PersistError`] variant.
+/// [`PersistError`] variant. Version-independent payloads (MinHash,
+/// manifests) use this; version-dependent ones use
+/// [`read_container_versioned`].
 pub fn read_container(path: &Path, expected_kind: u32) -> Result<Vec<u8>, PersistError> {
+    read_container_versioned(path, expected_kind).map(|(payload, _)| payload)
+}
+
+/// [`read_container`] that also returns the file's format version, so the
+/// caller can pick the matching payload decoder. Accepts every version in
+/// `1..=FORMAT_VERSION`; anything else is [`PersistError::UnsupportedVersion`].
+pub fn read_container_versioned(
+    path: &Path,
+    expected_kind: u32,
+) -> Result<(Vec<u8>, u32), PersistError> {
     let bytes = std::fs::read(path)?;
     let header = bytes.get(..32).ok_or(PersistError::Truncated)?;
     if header[..8] != MAGIC {
@@ -577,7 +718,7 @@ pub fn read_container(path: &Path, expected_kind: u32) -> Result<Vec<u8>, Persis
         u64::from_le_bytes(le)
     };
     let version = field_u32(8);
-    if version != FORMAT_VERSION {
+    if !(1..=FORMAT_VERSION).contains(&version) {
         return Err(PersistError::UnsupportedVersion(version));
     }
     let found = field_u32(12);
@@ -597,7 +738,7 @@ pub fn read_container(path: &Path, expected_kind: u32) -> Result<Vec<u8>, Persis
     if fnv1a64(payload) != field_u64(24) {
         return Err(PersistError::ChecksumMismatch);
     }
-    Ok(payload.to_vec())
+    Ok((payload.to_vec(), version))
 }
 
 /// A structure that can round-trip through one `.skx` container file.

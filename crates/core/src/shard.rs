@@ -674,6 +674,19 @@ impl<S: Shardable + Send + Sync> SetSimilaritySearch for ShardedIndex<S> {
         self.shards.iter().all(|s| s.index.supports_mutation())
     }
 
+    /// Sum of the shards' accounting plus the wrapper's own owner table.
+    fn memory_stats(&self) -> crate::traits::MemoryStats {
+        let mut total = crate::traits::MemoryStats::default();
+        for shard in &self.shards {
+            let s = shard.index.memory_stats();
+            total.posting_bytes += s.posting_bytes;
+            total.vector_bytes += s.vector_bytes;
+            total.aux_bytes += s.aux_bytes;
+        }
+        total.aux_bytes += self.owner.capacity() * std::mem::size_of::<(u32, u32)>();
+        total
+    }
+
     fn threshold(&self) -> f64 {
         self.threshold
     }

@@ -266,6 +266,24 @@ impl SetSimilaritySearch for SplitIndex {
         out
     }
 
+    /// The two sub-indexes' accounting, plus this wrapper's own vector
+    /// copies (each sub-index already counts its own clones).
+    fn memory_stats(&self) -> crate::traits::MemoryStats {
+        let freq = self.freq.memory_stats();
+        let rare = self.rare.memory_stats();
+        let own_vectors = self.vectors.capacity() * std::mem::size_of::<SparseVec>()
+            + self
+                .vectors
+                .iter()
+                .map(|v| std::mem::size_of_val(v.dims()))
+                .sum::<usize>();
+        crate::traits::MemoryStats {
+            posting_bytes: freq.posting_bytes + rare.posting_bytes,
+            vector_bytes: freq.vector_bytes + rare.vector_bytes + own_vectors,
+            aux_bytes: freq.aux_bytes + rare.aux_bytes,
+        }
+    }
+
     fn threshold(&self) -> f64 {
         self.i1
     }

@@ -36,6 +36,55 @@ impl std::fmt::Display for MutationError {
 
 impl std::error::Error for MutationError {}
 
+/// Resident heap bytes of a search structure, broken down by role — the
+/// accounting behind bytes-per-set reporting in the benches and `repro`.
+///
+/// The numbers are *capacity-based estimates* (what the structure's own
+/// arrays and maps hold on the heap), not allocator-measured RSS; they are
+/// deterministic for a deterministic build, which is what lets benchmarks
+/// compare substrates. Structures that do not account their memory report
+/// all-zero stats (the trait default).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes held by posting storage (bucket keys + offsets + id arenas, or
+    /// the equivalent hash-map estimate for uncompressed substrates).
+    pub posting_bytes: usize,
+    /// Bytes held by the stored vectors themselves.
+    pub vector_bytes: usize,
+    /// Everything else: hash coefficients, interners, tombstone bitmaps.
+    pub aux_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Total resident bytes across all categories.
+    pub fn total(&self) -> usize {
+        self.posting_bytes + self.vector_bytes + self.aux_bytes
+    }
+
+    /// Total bytes divided by a live-set count — the bytes/set budget the
+    /// memory-diet work is measured in. Zero when `sets` is zero.
+    pub fn bytes_per_set(&self, sets: usize) -> f64 {
+        if sets == 0 {
+            0.0
+        } else {
+            self.total() as f64 / sets as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "postings={}B vectors={}B aux={}B total={}B",
+            self.posting_bytes,
+            self.vector_bytes,
+            self.aux_bytes,
+            self.total()
+        )
+    }
+}
+
 /// A verified search result.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Match {
@@ -325,6 +374,20 @@ pub trait SetSimilaritySearch {
     /// (and guarantees they are infallible). Default: `false`.
     fn supports_mutation(&self) -> bool {
         false
+    }
+
+    /// Resident heap bytes of this structure, broken down by role (see
+    /// [`MemoryStats`]). The default reports all-zero stats, meaning "not
+    /// accounted" — the indexes in this workspace override it; divide by
+    /// [`SetSimilaritySearch::len`] (or use [`MemoryStats::bytes_per_set`])
+    /// for the bytes/set budget.
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats::default()
+    }
+
+    /// Total resident heap bytes — `memory_stats().total()`.
+    fn memory_bytes(&self) -> usize {
+        self.memory_stats().total()
     }
 
     /// The verification threshold `b₁`.

@@ -109,6 +109,7 @@ pub fn save(config: &PersistConfig, dir: &Path) -> Result<Table, PersistError> {
     correlated.save(&dir.join("correlated.skx"))?;
     minhash.save(&dir.join("minhash.skx"))?;
     sharded.save(&dir.join("sharded"))?;
+    report_memory(config, &correlated, &minhash);
 
     let queries = config.query_stream(&profile, &ds);
     Ok(answers(&correlated, &minhash, &sharded, &queries))
@@ -122,8 +123,27 @@ pub fn load(config: &PersistConfig, dir: &Path) -> Result<Table, PersistError> {
     let correlated = CorrelatedIndex::load(&dir.join("correlated.skx"))?;
     let minhash = MinHashLsh::load(&dir.join("minhash.skx"))?;
     let sharded = ShardedIndex::<CorrelatedIndex>::load(&dir.join("sharded"))?;
+    report_memory(config, &correlated, &minhash);
     let queries = config.query_stream(&profile, &ds);
     Ok(answers(&correlated, &minhash, &sharded, &queries))
+}
+
+/// Logs the accounted resident footprint of each index to **stderr**.
+/// This deliberately stays out of the returned [`Table`]: CI diffs the
+/// save/load TSV byte-for-byte, and capacity-based byte counts legitimately
+/// differ between a freshly built index and one reloaded from disk (the
+/// reload allocates exactly-sized arrays).
+fn report_memory(config: &PersistConfig, correlated: &CorrelatedIndex, minhash: &MinHashLsh) {
+    for (name, stats) in [
+        ("correlated", correlated.memory_stats()),
+        ("minhash", minhash.memory_stats()),
+    ] {
+        eprintln!(
+            "[memory] {name}: {stats} — {:.1} B/set over n={}",
+            stats.bytes_per_set(config.scale),
+            config.scale,
+        );
+    }
 }
 
 /// One row per (index, query): the best match, the full `search_all` id

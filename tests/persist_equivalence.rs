@@ -236,6 +236,114 @@ fn mutated_index_round_trips() {
 }
 
 #[test]
+fn mutated_then_compacted_index_round_trips_as_format_v2() {
+    // Compaction re-encodes the merged segment through the compressed
+    // postings encoder — the second of the two encode sites. A compacted
+    // index must round-trip through a format-v2 file (compressed arenas
+    // persisted verbatim) with every surface intact.
+    let (ds, profile, queries) = fixture(220, SEED ^ 20);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 21);
+    let scheme = CorrelatedScheme::new(ALPHA, 200, &profile);
+    let mut index = LsfIndex::build(
+        ds.vectors()[..200].to_vec(),
+        profile.clone(),
+        scheme,
+        ALPHA / 1.3,
+        opts(6),
+        &mut rng,
+    );
+    let sampler = VectorSampler::new(&profile);
+    for i in 0..30 {
+        if i % 4 == 0 {
+            index.remove(i).unwrap();
+        } else {
+            index.insert(sampler.sample(&mut rng)).unwrap();
+        }
+    }
+    index.compact();
+    assert_eq!(index.pending_mutations(), 0);
+
+    let path = scratch("compacted_v2");
+    index.save(&path).unwrap();
+    // The file header carries the active write version — 2, unless the CI
+    // rollback drill forced v1 via SKEWSEARCH_FORCE_V1.
+    let bytes = std::fs::read(&path).unwrap();
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    assert_eq!(
+        version,
+        skewsearch::core::persist::effective_write_version(),
+        "compacted index saves at the active write version"
+    );
+    let reloaded = LsfIndex::<CorrelatedScheme>::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_same_answers(&index, &reloaded, &queries, "compacted v2");
+    // The capacity-based accounting survives the round trip exactly: both
+    // sides hold shrunk-to-fit arrays rebuilt from the same postings.
+    assert!(index.memory_bytes() > 0);
+    assert_eq!(
+        reloaded.memory_stats().posting_bytes,
+        index.memory_stats().posting_bytes,
+        "posting accounting diverged across the round trip"
+    );
+}
+
+#[test]
+fn legacy_v1_files_still_load() {
+    // The v1 fallback: a file written in the uncompressed bucket-map layout
+    // (version 1 in the header) must load into the compressed substrate and
+    // answer byte-identically. The file is handcrafted through the public
+    // versioned writer — no environment toggle, so this stays race-free
+    // under parallel test threads (CI exercises `SKEWSEARCH_FORCE_V1=1`
+    // cross-process instead).
+    use skewsearch::core::persist::{kind, write_container_versioned, Writer};
+    let (ds, profile, queries) = fixture(200, SEED ^ 22);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 23);
+    let scheme = CorrelatedScheme::new(ALPHA, ds.n(), &profile);
+    let mut index = LsfIndex::build(
+        ds.vectors().to_vec(),
+        profile.clone(),
+        scheme,
+        ALPHA / 1.3,
+        opts(5),
+        &mut rng,
+    );
+    // A delta segment rides along: v1 encodes it the same way.
+    let sampler = VectorSampler::new(&profile);
+    for _ in 0..8 {
+        index.insert(sampler.sample(&mut rng)).unwrap();
+    }
+    index.remove(5).unwrap();
+
+    let path = scratch("legacy_v1");
+    let mut w = Writer::new();
+    index.write_payload(&mut w, 1);
+    write_container_versioned(&path, kind::LSF, &w.into_payload(), 1).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    assert_eq!(version, 1, "handcrafted file carries the v1 header");
+
+    let reloaded = LsfIndex::<CorrelatedScheme>::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_same_answers(&index, &reloaded, &queries, "legacy v1");
+
+    // And a v1 file round-trips onward at the active write version
+    // (normally an upgrade to v2): saving the reloaded index re-encodes the
+    // layout without changing an answer.
+    let path2 = scratch("legacy_v1_upgraded");
+    reloaded.save(&path2).unwrap();
+    let bytes = std::fs::read(&path2).unwrap();
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    assert_eq!(
+        version,
+        skewsearch::core::persist::effective_write_version(),
+        "re-save writes the active version"
+    );
+    let upgraded = LsfIndex::<CorrelatedScheme>::load(&path2).unwrap();
+    let _ = std::fs::remove_file(&path2);
+    assert_same_answers(&reloaded, &upgraded, &queries, "v1→v2 upgrade");
+}
+
+#[test]
 fn sharded_deployments_round_trip() {
     let (ds, profile, queries) = fixture(250, SEED ^ 12);
     let mut rng = StdRng::seed_from_u64(SEED ^ 13);

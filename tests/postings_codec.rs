@@ -1,0 +1,318 @@
+//! Round-trip and corruption contracts for the compressed postings codec.
+//!
+//! The codec (delta + LEB128 varint bucket arenas, `skewsearch::core::postings`)
+//! sits under every base segment and every format-v2 file, so its failure
+//! contract is load-bearing: **any** byte-level corruption must surface as a
+//! typed [`PostingsError`] from `from_parts` — never a panic, never a silently
+//! wrong bucket. The proptest block randomizes bucket shapes; the unit block
+//! pins each corruption class by hand-crafting arenas at the byte level.
+
+use proptest::prelude::*;
+use skewsearch::core::{CompressedPostings, PostingsEncoder, PostingsError};
+
+/// Encode a key-sorted map of buckets (ids strictly ascending within each).
+fn encode(buckets: &[(u64, Vec<u32>)]) -> CompressedPostings {
+    let mut enc = PostingsEncoder::new();
+    for (key, ids) in buckets {
+        for &id in ids {
+            enc.push(*key, id);
+        }
+    }
+    enc.finish()
+}
+
+/// Decode every bucket back out through the streaming cursor.
+fn decode(p: &CompressedPostings) -> Vec<(u64, Vec<u32>)> {
+    p.iter()
+        .map(|(key, cursor)| (key, cursor.collect()))
+        .collect()
+}
+
+/// A strategy producing well-formed bucket sets: sorted unique keys, each
+/// with a strictly ascending non-empty id list. Raw `(key, ids)` pairs are
+/// canonicalized through a `BTreeMap`/`BTreeSet` (dedup + sort), so any
+/// random draw becomes a valid encoder input.
+fn bucket_sets() -> impl Strategy<Value = Vec<(u64, Vec<u32>)>> {
+    prop::collection::vec(
+        (any::<u64>(), prop::collection::vec(any::<u32>(), 1..24)),
+        0..24,
+    )
+    .prop_map(|raw| {
+        let mut canonical: std::collections::BTreeMap<u64, std::collections::BTreeSet<u32>> =
+            std::collections::BTreeMap::new();
+        for (key, ids) in raw {
+            canonical.entry(key).or_default().extend(ids);
+        }
+        canonical
+            .into_iter()
+            .map(|(k, ids)| (k, ids.into_iter().collect::<Vec<u32>>()))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode → decode is the identity on every well-formed bucket set,
+    /// and the summary statistics match the input.
+    #[test]
+    fn round_trip_is_identity(buckets in bucket_sets()) {
+        let p = encode(&buckets);
+        prop_assert_eq!(decode(&p), buckets.clone());
+        prop_assert_eq!(p.bucket_count(), buckets.len());
+        let postings: usize = buckets.iter().map(|(_, ids)| ids.len()).sum();
+        prop_assert_eq!(p.posting_count(), postings);
+        let max = buckets.iter().map(|(_, ids)| ids.len()).max().unwrap_or(0);
+        prop_assert_eq!(p.max_bucket_len(), max);
+    }
+
+    /// `get` agrees with `iter` on every key, and misses between keys.
+    #[test]
+    fn get_matches_iter(buckets in bucket_sets(), probe in any::<u64>()) {
+        let p = encode(&buckets);
+        for (key, ids) in &buckets {
+            let got: Vec<u32> = p.get(*key).expect("present key").collect();
+            prop_assert_eq!(&got, ids);
+        }
+        let expect = buckets.iter().find(|(k, _)| *k == probe).map(|(_, ids)| ids.clone());
+        let got = p.get(probe).map(|c| c.collect::<Vec<u32>>());
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Re-validating an encoder's own output through `from_parts` always
+    /// succeeds: the strict reader accepts everything the writer emits.
+    #[test]
+    fn from_parts_accepts_encoder_output(buckets in bucket_sets()) {
+        let p = encode(&buckets);
+        let n_slots = buckets
+            .iter()
+            .flat_map(|(_, ids)| ids.iter())
+            .map(|&id| id as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let re = CompressedPostings::from_parts(
+            p.keys().to_vec(),
+            p.offsets().to_vec(),
+            p.arena().to_vec(),
+            n_slots,
+            0,
+        );
+        prop_assert_eq!(re, Ok(p));
+    }
+
+    /// Truncating the arena at ANY byte boundary never panics: either the
+    /// damage is caught as a typed error (mid-varint cut, collapsed offset
+    /// ranges), or — when the cut lands exactly on a varint boundary inside
+    /// the final bucket — the result decodes to strictly fewer postings.
+    /// Silent full-content acceptance is impossible.
+    #[test]
+    fn truncated_arena_is_rejected_or_loses_postings(
+        buckets in bucket_sets(),
+        cut_raw in any::<usize>(),
+    ) {
+        let p = encode(&buckets);
+        prop_assume!(!p.arena().is_empty());
+        let cut = cut_raw % p.arena().len();
+        let mut offsets = p.offsets().to_vec();
+        // Clamp the offset table to the shortened arena so the table itself
+        // stays internally consistent — the damage is inside the bytes.
+        for o in &mut offsets {
+            *o = (*o).min(cut as u64);
+        }
+        let arena = p.arena()[..cut].to_vec();
+        let re = CompressedPostings::from_parts(
+            p.keys().to_vec(),
+            offsets,
+            arena,
+            u32::MAX as usize,
+            0,
+        );
+        if let Ok(q) = re {
+            prop_assert!(
+                q.posting_count() < p.posting_count(),
+                "truncation at byte {} accepted without losing postings",
+                cut
+            );
+        }
+    }
+
+    /// Flipping a single arena byte either still decodes (to possibly
+    /// different ids) or fails with a typed error — it never panics. This is
+    /// the blanket no-panic contract over random single-byte corruption.
+    #[test]
+    fn flipped_arena_byte_never_panics(
+        buckets in bucket_sets(),
+        at_raw in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let p = encode(&buckets);
+        prop_assume!(!p.arena().is_empty());
+        let at = at_raw % p.arena().len();
+        let mut arena = p.arena().to_vec();
+        arena[at] ^= xor;
+        let _ = CompressedPostings::from_parts(
+            p.keys().to_vec(),
+            p.offsets().to_vec(),
+            arena,
+            u32::MAX as usize,
+            0,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-crafted corruption classes, byte by byte.
+// ---------------------------------------------------------------------------
+
+/// LEB128-encode `v` into `out` (test-local writer, mirrors the codec).
+fn varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// One bucket under key 7: first id absolute, then gaps.
+fn one_bucket(first: u32, gaps: &[u32]) -> (Vec<u64>, Vec<u64>, Vec<u8>) {
+    let mut arena = Vec::new();
+    varint(&mut arena, first);
+    for &g in gaps {
+        varint(&mut arena, g);
+    }
+    (vec![7], vec![0, arena.len() as u64], arena)
+}
+
+#[test]
+fn zero_gap_is_non_monotone() {
+    // ids 5 then gap 0 would repeat 5 — duplicates are never valid.
+    let (keys, offsets, arena) = one_bucket(5, &[0]);
+    let err = CompressedPostings::from_parts(keys, offsets, arena, 100, 0).unwrap_err();
+    assert_eq!(err, PostingsError::NonMonotone);
+}
+
+#[test]
+fn truncated_final_varint_is_typed() {
+    // A continuation bit with no following byte: the varint never terminates.
+    let keys = vec![7u64];
+    let arena = vec![0x85u8]; // "more bytes follow" … but none do
+    let offsets = vec![0, arena.len() as u64];
+    let err = CompressedPostings::from_parts(keys, offsets, arena, 100, 0).unwrap_err();
+    assert_eq!(err, PostingsError::Truncated);
+}
+
+#[test]
+fn oversized_varint_is_overflow() {
+    // Six continuation bytes: a u32 varint is at most five bytes.
+    let keys = vec![7u64];
+    let arena = vec![0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+    let offsets = vec![0, arena.len() as u64];
+    let err = CompressedPostings::from_parts(keys, offsets, arena, 100, 0).unwrap_err();
+    assert_eq!(err, PostingsError::Overflow);
+}
+
+#[test]
+fn fifth_byte_high_bits_are_overflow() {
+    // Five bytes whose fifth carries bits above bit 31 of the value.
+    let keys = vec![7u64];
+    let arena = vec![0x80, 0x80, 0x80, 0x80, 0x10];
+    let offsets = vec![0, arena.len() as u64];
+    let err = CompressedPostings::from_parts(keys, offsets, arena, 100, 0).unwrap_err();
+    assert_eq!(err, PostingsError::Overflow);
+}
+
+#[test]
+fn gap_sum_past_u32_max_is_overflow() {
+    // First id near the top of the range plus a huge gap wraps u32.
+    let (keys, offsets, arena) = one_bucket(u32::MAX - 1, &[3]);
+    let err =
+        CompressedPostings::from_parts(keys, offsets, arena, u32::MAX as usize, 0).unwrap_err();
+    assert_eq!(err, PostingsError::Overflow);
+}
+
+#[test]
+fn id_at_or_past_n_slots_is_out_of_range() {
+    // id 100 with only 100 slots (valid ids are 0..100).
+    let (keys, offsets, arena) = one_bucket(100, &[]);
+    let err = CompressedPostings::from_parts(keys, offsets, arena, 100, 0).unwrap_err();
+    assert_eq!(err, PostingsError::IdOutOfRange);
+}
+
+#[test]
+fn unsorted_keys_are_rejected() {
+    let mut enc = PostingsEncoder::new();
+    enc.push(7, 1);
+    let p = enc.finish();
+    // Duplicate the single key: 7, 7 is not strictly ascending.
+    let keys = vec![7u64, 7u64];
+    let mut offsets = p.offsets().to_vec();
+    offsets.push(*offsets.last().unwrap()); // would also trip OffsetTable — keys are checked first
+    let err =
+        CompressedPostings::from_parts(keys, offsets, p.arena().to_vec(), 100, 0).unwrap_err();
+    assert_eq!(err, PostingsError::KeyOrder);
+}
+
+#[test]
+fn malformed_offset_tables_are_rejected() {
+    let (keys, _, arena) = one_bucket(5, &[2]);
+    let n = arena.len() as u64;
+    // Wrong length (keys.len()+1 entries required).
+    let err =
+        CompressedPostings::from_parts(keys.clone(), vec![0], arena.clone(), 100, 0).unwrap_err();
+    assert_eq!(err, PostingsError::OffsetTable);
+    // First entry not zero.
+    let err = CompressedPostings::from_parts(keys.clone(), vec![1, n], arena.clone(), 100, 0)
+        .unwrap_err();
+    assert_eq!(err, PostingsError::OffsetTable);
+    // Last entry disagrees with the arena length.
+    let err = CompressedPostings::from_parts(keys.clone(), vec![0, n + 1], arena.clone(), 100, 0)
+        .unwrap_err();
+    assert_eq!(err, PostingsError::OffsetTable);
+    // Non-ascending interior (empty bucket blocks are impossible: every
+    // stored bucket holds at least its absolute first id).
+    let err = CompressedPostings::from_parts(vec![7, 9], vec![0, n, n], arena, 100, 0).unwrap_err();
+    assert_eq!(err, PostingsError::OffsetTable);
+}
+
+#[test]
+fn min_id_floor_is_enforced() {
+    // Delta-segment reads pass `min_id = base_len`: an id below the floor
+    // (e.g. written by a corrupted file claiming a base id lives in the
+    // delta) is rejected.
+    let (keys, offsets, arena) = one_bucket(3, &[]);
+    let err = CompressedPostings::from_parts(keys, offsets, arena, 100, 10).unwrap_err();
+    assert_eq!(err, PostingsError::IdOutOfRange);
+}
+
+#[test]
+fn errors_display_without_panicking() {
+    // Each variant renders a human-readable message (used by persist's
+    // Malformed mapping and by anyone logging a failed load).
+    for err in [
+        PostingsError::Truncated,
+        PostingsError::Overflow,
+        PostingsError::NonMonotone,
+        PostingsError::KeyOrder,
+        PostingsError::OffsetTable,
+        PostingsError::IdOutOfRange,
+    ] {
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn empty_postings_are_well_formed() {
+    let p = PostingsEncoder::new().finish();
+    assert!(p.is_empty());
+    assert_eq!(p.bucket_count(), 0);
+    assert_eq!(p.posting_count(), 0);
+    assert_eq!(p.max_bucket_len(), 0);
+    assert_eq!(decode(&p), Vec::<(u64, Vec<u32>)>::new());
+    assert!(p.get(0).is_none());
+    let re = CompressedPostings::from_parts(Vec::new(), vec![0], Vec::new(), 0, 0);
+    assert_eq!(re, Ok(p));
+}
