@@ -175,6 +175,15 @@ impl SetSimilaritySearch for ChosenPathIndex {
     ) -> Option<skewsearch_core::TaggedMatch> {
         self.inner.probe_plan_first_tagged(plan)
     }
+    /// Delegates so the inner LSF engine's per-repetition deadline polling
+    /// is kept (the trait default would only poll once up front).
+    fn probe_plan_tagged_deadline(
+        &self,
+        plan: &skewsearch_core::QueryPlan,
+        expired: &(dyn Fn() -> bool + Sync),
+    ) -> Result<Vec<skewsearch_core::TaggedMatch>, skewsearch_core::DeadlineExceeded> {
+        self.inner.probe_plan_tagged_deadline(plan, expired)
+    }
     fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
         self.inner.search_batch(queries)
     }

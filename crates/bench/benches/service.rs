@@ -1,0 +1,121 @@
+//! Service round-trip cost: `/search` over a real loopback socket at 1, 4,
+//! and 8 concurrent clients, against the same correlated index the other
+//! benches probe directly. The gap between this and `query_scaling` is the
+//! whole service stack — HTTP framing, JSON codecs, the admission queue,
+//! and the read lock.
+//!
+//! Each client-count row runs against a **fresh** server so its latency
+//! histogram covers exactly that row's traffic; the measured p50/p99 are
+//! printed to stderr after each row (the source of BENCHMARKS.md §service).
+//! Answers over the wire are byte-identical to direct calls
+//! (`tests/service_equivalence.rs` pins this); these rows measure only cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch_bench::bench_dataset;
+use skewsearch_core::{CorrelatedIndex, CorrelatedParams, IndexOptions, Repetitions};
+use skewsearch_datagen::correlated_query;
+use skewsearch_server::{
+    share, Json, QueryService, Server, ServerConfig, ServerHooks, ServiceClient,
+};
+use std::hint::black_box;
+
+const ALPHA: f64 = 2.0 / 3.0;
+const N: usize = 800;
+const QUERIES: usize = 32;
+const CLIENTS: [usize; 3] = [1, 4, 8];
+
+/// Deterministic build: the RNG stream is the bench's own, so every row
+/// serves an identical index (`CorrelatedIndex` is not `Clone`; rebuilding
+/// from the same seed is the same thing).
+fn build(
+    ds: &skewsearch_datagen::Dataset,
+    profile: &skewsearch_datagen::BernoulliProfile,
+) -> CorrelatedIndex {
+    let mut rng = StdRng::seed_from_u64(0x5E8B);
+    CorrelatedIndex::build(
+        ds,
+        profile,
+        CorrelatedParams::new(ALPHA)
+            .unwrap()
+            .with_options(IndexOptions {
+                repetitions: Repetitions::Fixed(6),
+                ..IndexOptions::default()
+            }),
+        &mut rng,
+    )
+}
+
+fn bench_service(c: &mut Criterion) {
+    let (ds, profile) = bench_dataset(N, true);
+    let mut rng = StdRng::seed_from_u64(0x5E8B ^ 0x9);
+    let queries: Vec<Vec<u32>> = (0..QUERIES)
+        .map(|t| {
+            correlated_query(ds.vector(t * 17 % ds.n()), &profile, ALPHA, &mut rng)
+                .iter()
+                .collect()
+        })
+        .collect();
+
+    let mut g = c.benchmark_group(format!("service_search_n{N}"));
+    for clients in CLIENTS {
+        // Fresh server per row: the histogram then covers exactly this
+        // row's traffic and the stderr p50/p99 are per-concurrency numbers.
+        let server = Server::bind(
+            "127.0.0.1:0",
+            QueryService::new(share(build(&ds, &profile))),
+            ServerConfig::default(),
+            ServerHooks::default(),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        g.bench_with_input(
+            BenchmarkId::new("clients", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for t in 0..clients {
+                            let queries = &queries;
+                            scope.spawn(move || {
+                                let mut client = ServiceClient::connect(addr).expect("connect");
+                                for dims in queries.iter().skip(t).step_by(clients) {
+                                    black_box(client.search(dims, None).expect("served search"));
+                                }
+                            });
+                        }
+                    })
+                })
+            },
+        );
+
+        // Print the measured service-side quantiles for this row; these are
+        // the numbers BENCHMARKS.md §service publishes.
+        let mut probe = ServiceClient::connect(addr).expect("connect probe");
+        let stats = probe.stats().expect("stats");
+        let ns = |q: &str| {
+            stats
+                .get("latency")
+                .and_then(|l| l.get(q))
+                .and_then(Json::as_u64)
+                .expect("latency quantile")
+        };
+        eprintln!(
+            "[service] clients={clients}: count={} p50={}ns p99={}ns",
+            ns("count"),
+            ns("p50_ns"),
+            ns("p99_ns"),
+        );
+        drop(probe);
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = skewsearch_bench::quick_criterion();
+    targets = bench_service
+}
+criterion_main!(benches);

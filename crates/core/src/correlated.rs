@@ -185,6 +185,15 @@ impl SetSimilaritySearch for CorrelatedIndex {
     fn probe_plan_first_tagged(&self, plan: &crate::QueryPlan) -> Option<crate::TaggedMatch> {
         self.inner.probe_plan_first_tagged(plan)
     }
+    /// Delegates so the inner LSF engine's per-repetition deadline polling
+    /// is kept (the trait default would only poll once up front).
+    fn probe_plan_tagged_deadline(
+        &self,
+        plan: &crate::QueryPlan,
+        expired: &(dyn Fn() -> bool + Sync),
+    ) -> Result<Vec<crate::TaggedMatch>, crate::traits::DeadlineExceeded> {
+        self.inner.probe_plan_tagged_deadline(plan, expired)
+    }
     fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
         self.inner.search_batch(queries)
     }

@@ -1116,6 +1116,57 @@ impl<S: ThresholdScheme> SetSimilaritySearch for LsfIndex<S> {
         first
     }
 
+    /// Deadline-aware planned probe at per-repetition granularity: the
+    /// expiry check is re-polled before every pass (the natural cancellation
+    /// point of the pipeline — each pass is one bucket-walk over one
+    /// repetition), so a firing deadline abandons the probe within one
+    /// repetition's worth of work. Unplanned plans poll once and fall back
+    /// to the fused path.
+    ///
+    /// Shares the private `probe_pass_keys` walk with every other probe
+    /// entry point, so a never-firing check yields exactly
+    /// [`SetSimilaritySearch::probe_plan_tagged`].
+    fn probe_plan_tagged_deadline(
+        &self,
+        plan: &QueryPlan,
+        expired: &(dyn Fn() -> bool + Sync),
+    ) -> Result<Vec<crate::traits::TaggedMatch>, crate::traits::DeadlineExceeded> {
+        if expired() {
+            return Err(crate::traits::DeadlineExceeded);
+        }
+        let Some(passes) = plan.passes() else {
+            return Ok(SetSimilaritySearch::probe_plan_tagged(self, plan));
+        };
+        assert_eq!(
+            passes.len(),
+            self.reps.len(),
+            "QueryPlan pass count does not match this index's repetitions"
+        );
+        let q = plan.query();
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        for ((pass, rep), keys) in self.reps.iter().enumerate().zip(passes) {
+            if pass > 0 && expired() {
+                return Err(crate::traits::DeadlineExceeded);
+            }
+            probe_pass_keys(
+                rep,
+                pass as u32,
+                keys,
+                &mut seen,
+                &mut stats,
+                &mut |pass, step, id| {
+                    if let Some(hit) = self.verified(q, id) {
+                        out.push(crate::traits::TaggedMatch { pass, step, hit });
+                    }
+                    true
+                },
+            );
+        }
+        Ok(out)
+    }
+
     fn search_batch(&self, queries: &[SparseVec]) -> Vec<Vec<Match>> {
         self.search_batch_threads(queries, self.query_threads)
     }

@@ -97,4 +97,6 @@ pub use shard::{set_partition_key, ShardStrategy, Shardable, ShardedIndex};
 pub use split::{
     balance_split, balance_split_normalized, balanced_exponents, SplitIndex, SplitParams,
 };
-pub use traits::{Match, MemoryStats, MutationError, SetId, SetSimilaritySearch, TaggedMatch};
+pub use traits::{
+    DeadlineExceeded, Match, MemoryStats, MutationError, SetId, SetSimilaritySearch, TaggedMatch,
+};

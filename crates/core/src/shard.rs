@@ -77,7 +77,9 @@ use crate::batch::{batch_map, batch_map_chunked};
 use crate::index::LsfIndex;
 use crate::plan::QueryPlan;
 use crate::scheme::ThresholdScheme;
-use crate::traits::{Match, MutationError, SetId, SetSimilaritySearch, TaggedMatch};
+use crate::traits::{
+    DeadlineExceeded, Match, MutationError, SetId, SetSimilaritySearch, TaggedMatch,
+};
 use skewsearch_hashing::{mix, FxHashSet};
 use skewsearch_sets::SparseVec;
 
@@ -571,6 +573,64 @@ impl<S: Shardable + Send + Sync> SetSimilaritySearch for ShardedIndex<S> {
 
     fn search_first_tagged(&self, q: &SparseVec) -> Option<TaggedMatch> {
         self.merged_first(q, self.fanout_threads)
+    }
+
+    /// Deadline-aware fan-out under the same merge protocol as
+    /// [`ShardedIndex::search_all_tagged`]: the shared expiry check is
+    /// threaded through to every shard's own
+    /// [`SetSimilaritySearch::probe_plan_tagged_deadline`] (per-repetition
+    /// granularity for LSF shards), so each shard cancels independently; if
+    /// *any* shard reports [`DeadlineExceeded`] the whole query does — a
+    /// merge over a partial shard set would silently drop matches.
+    ///
+    /// With a never-firing check the merged `Ok` value is byte-identical to
+    /// the undeadlined fan-out (same plan broadcast, same
+    /// `(pass, step, id)` sort-and-dedup).
+    fn probe_plan_tagged_deadline(
+        &self,
+        plan: &QueryPlan,
+        expired: &(dyn Fn() -> bool + Sync),
+    ) -> Result<Vec<TaggedMatch>, DeadlineExceeded> {
+        if expired() {
+            return Err(DeadlineExceeded);
+        }
+        let q = plan.query();
+        let threads = self.fanout_threads;
+        let per_shard: Vec<Result<Vec<TaggedMatch>, DeadlineExceeded>> =
+            match (self.plan_broadcast, self.strategy) {
+                (true, ShardStrategy::ByDataset) => {
+                    let plan = self.broadcast_plan(q);
+                    // Stage boundary: enumeration just ran in full once.
+                    if expired() {
+                        return Err(DeadlineExceeded);
+                    }
+                    batch_map_chunked(&self.shards, threads, 1, |shard| {
+                        shard.index.probe_plan_tagged_deadline(&plan, expired)
+                    })
+                }
+                (true, ShardStrategy::ByRepetition) => {
+                    batch_map_chunked(&self.shards, threads, 1, |shard| {
+                        shard
+                            .index
+                            .probe_plan_tagged_deadline(&shard.index.plan_query(q), expired)
+                    })
+                }
+                (false, _) => batch_map_chunked(&self.shards, threads, 1, |shard| {
+                    if expired() {
+                        Err(DeadlineExceeded)
+                    } else {
+                        Ok(shard.index.search_all_tagged(q))
+                    }
+                }),
+            };
+        let mut all: Vec<TaggedMatch> = Vec::new();
+        for (shard, tagged) in self.shards.iter().zip(per_shard) {
+            all.extend(tagged?.into_iter().map(|t| shard.globalize(t)));
+        }
+        all.sort_by_key(|t| (t.pass, t.step, t.hit.id));
+        let mut seen: FxHashSet<usize> = FxHashSet::default();
+        all.retain(|t| seen.insert(t.hit.id));
+        Ok(all)
     }
 
     /// Parallelizes across *queries* (the shard fan-out inside each query

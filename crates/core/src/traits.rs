@@ -36,6 +36,24 @@ impl std::fmt::Display for MutationError {
 
 impl std::error::Error for MutationError {}
 
+/// Returned by [`SetSimilaritySearch::probe_plan_tagged_deadline`] when the
+/// caller-supplied expiry check fired before the probe ran to completion.
+///
+/// The type is deliberately empty: a deadline carries no partial answer. A
+/// probe either completes (byte-identical to the undeadlined probe) or it
+/// reports this and the caller sees *nothing* — partial match lists would
+/// break the byte-identity contracts the equivalence suites pin.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query deadline exceeded before the probe completed")
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
 /// Resident heap bytes of a search structure, broken down by role — the
 /// accounting behind bytes-per-set reporting in the benches and `repro`.
 ///
@@ -290,6 +308,42 @@ pub trait SetSimilaritySearch {
         self.probe_plan_tagged(plan).into_iter().next()
     }
 
+    /// Deadline-aware [`SetSimilaritySearch::probe_plan_tagged`]: polls the
+    /// caller-supplied `expired` check at the structure's natural
+    /// cancellation points and abandons the probe with
+    /// [`DeadlineExceeded`] as soon as it fires.
+    ///
+    /// This is the core hook behind the query service's per-request
+    /// deadlines. The check is an opaque closure (typically comparing
+    /// `Instant::now()` against an absolute deadline on the *caller's*
+    /// side), which keeps this crate itself wall-clock-free: no ambient
+    /// time source is read on the query path, and the check can only decide
+    /// *whether* the probe finishes — never which candidates surface or in
+    /// what order.
+    ///
+    /// **Contract** (pinned by `tests/service_equivalence.rs` and the core
+    /// unit tests): with a check that never fires, the `Ok` value is
+    /// byte-identical to [`SetSimilaritySearch::probe_plan_tagged`]; with a
+    /// check that has already fired, the structure returns `Err` without
+    /// probing. There is no partial-result mode.
+    ///
+    /// The default polls once up front and then runs the full probe —
+    /// correct for every structure, coarse for long probes. [`crate::LsfIndex`]
+    /// overrides it to re-poll between repetitions (the pass boundary of the
+    /// enumerate→probe→verify pipeline), and [`crate::shard::ShardedIndex`]
+    /// threads the same check through its shard fan-out so each shard
+    /// cancels independently.
+    fn probe_plan_tagged_deadline(
+        &self,
+        plan: &QueryPlan,
+        expired: &(dyn Fn() -> bool + Sync),
+    ) -> Result<Vec<TaggedMatch>, DeadlineExceeded> {
+        if expired() {
+            return Err(DeadlineExceeded);
+        }
+        Ok(self.probe_plan_tagged(plan))
+    }
+
     /// Answers a batch of queries: element `i` of the result is exactly
     /// `self.search_all(&queries[i])`.
     ///
@@ -495,6 +549,29 @@ mod tests {
             assert_eq!(s.probe_plan_tagged(&plan), s.search_all_tagged(&q));
             assert_eq!(s.probe_plan_first_tagged(&plan), s.search_first_tagged(&q));
         }
+    }
+
+    #[test]
+    fn default_deadline_probe_is_all_or_nothing() {
+        let s = TwoVec {
+            data: vec![
+                SparseVec::from_unsorted(vec![1, 2, 3, 4]),
+                SparseVec::from_unsorted(vec![1, 2, 3]),
+            ],
+            t: 0.4,
+        };
+        let q = SparseVec::from_unsorted(vec![1, 2, 3]);
+        let plan = s.plan_query(&q);
+        // Never-firing check: byte-identical to the undeadlined probe.
+        assert_eq!(
+            s.probe_plan_tagged_deadline(&plan, &|| false),
+            Ok(s.probe_plan_tagged(&plan))
+        );
+        // Already-fired check: no partial answer, just the typed error.
+        assert_eq!(
+            s.probe_plan_tagged_deadline(&plan, &|| true),
+            Err(DeadlineExceeded)
+        );
     }
 
     #[test]

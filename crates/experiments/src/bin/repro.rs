@@ -12,12 +12,20 @@
 //! repro recall                          Lemma 5 recall-vs-repetitions
 //! repro save --dir PATH [--scale N]     build an index suite, persist it, print answers
 //! repro load --dir PATH [--scale N]     reload that suite, print the same answers
+//! repro serve --port-file PATH          stand up the query server, publish its port, block
+//! repro client --port-file PATH         answer the smoke's query script over the wire
+//! repro client --in-process             answer the same script by direct calls
 //! repro all                             everything, default parameters
 //! ```
 //!
 //! `save`/`load` are the persistence smoke: run `save`, then `load` in a
 //! fresh process against the same `--dir` (and the same `--scale/--seed`),
 //! and diff the two outputs — they must be byte-identical.
+//!
+//! `serve`/`client` are the service smoke: background `serve`, wait for the
+//! port file, run `client` against it and `client --in-process` locally,
+//! and diff the two TSVs — the wire must be answer-invisible. See
+//! docs/SERVICE.md.
 //!
 //! Output is TSV on stdout (`# title` line, header, rows), suitable for
 //! redirecting straight into plotting scripts.
@@ -39,6 +47,8 @@ fn main() {
         "recall" => run_recall(&args),
         "save" => run_persist(&args, true),
         "load" => run_persist(&args, false),
+        "serve" => run_serve(&args),
+        "client" => run_client(&args),
         "all" => {
             run_fig1(&args);
             run_fig2(&args);
@@ -53,9 +63,10 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: repro <fig1|fig2|table1|sec7-adversarial|sec7-correlated|\
-                 motivating|scaling|sharded|recall|save|load|all> [options]\n\
+                 motivating|scaling|sharded|recall|save|load|serve|client|all> [options]\n\
                  options: --steps N --scale N --file PATH --log2n K --d N --i1 X \
-                 --uniform --full --seed S --shards a,b,c --dir PATH"
+                 --uniform --full --seed S --shards a,b,c --dir PATH \
+                 --port-file PATH --addr HOST:PORT --in-process"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
@@ -214,6 +225,48 @@ fn run_persist(args: &[String], saving: bool) {
     };
     let table =
         result.unwrap_or_else(|e| panic!("repro {}: {e}", if saving { "save" } else { "load" }));
+    print!("{}", table.render_tsv());
+    println!();
+}
+
+fn service_config(args: &[String]) -> skewsearch_experiments::service::ServiceConfig {
+    let mut config = skewsearch_experiments::service::ServiceConfig::default_config();
+    config.scale = opt(args, "--scale", config.scale);
+    config.seed = opt(args, "--seed", config.seed);
+    config
+}
+
+fn run_serve(args: &[String]) {
+    let port_file = opt(args, "--port-file", String::new());
+    if port_file.is_empty() {
+        eprintln!("repro serve: --port-file PATH is required");
+        std::process::exit(2);
+    }
+    let config = service_config(args);
+    skewsearch_experiments::service::serve(&config, std::path::Path::new(&port_file))
+        .unwrap_or_else(|e| panic!("repro serve: {e}"));
+}
+
+fn run_client(args: &[String]) {
+    use skewsearch_experiments::service;
+    let config = service_config(args);
+    let table = if flag(args, "--in-process") {
+        service::answers_in_process(&config)
+    } else {
+        let addr = match opt(args, "--addr", String::new()) {
+            a if !a.is_empty() => a.parse().unwrap_or_else(|e| panic!("bad --addr: {e}")),
+            _ => {
+                let port_file = opt(args, "--port-file", String::new());
+                if port_file.is_empty() {
+                    eprintln!("repro client: --addr HOST:PORT, --port-file PATH, or --in-process is required");
+                    std::process::exit(2);
+                }
+                service::read_port_file(std::path::Path::new(&port_file))
+                    .unwrap_or_else(|e| panic!("repro client: {e}"))
+            }
+        };
+        service::answers_over_wire(&config, addr).unwrap_or_else(|e| panic!("repro client: {e}"))
+    };
     print!("{}", table.render_tsv());
     println!();
 }

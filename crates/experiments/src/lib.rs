@@ -14,6 +14,7 @@
 //! | [`scaling`] | Theorems 1–2 empirical validation (candidate scaling, added) |
 //! | [`recall`] | Lemma 5 repetition boost (added) |
 //! | [`persistence`] | save/load cross-process equivalence smoke (added) |
+//! | [`service`] | serve/client cross-process wire-equivalence smoke (added) |
 //!
 //! Each module exposes a pure `compute`/`run` function returning structured
 //! results plus [`table::Table`] renderers; the `repro` binary wires them to
@@ -29,6 +30,7 @@ pub mod persistence;
 pub mod recall;
 pub mod scaling;
 pub mod sec7;
+pub mod service;
 pub mod table;
 pub mod table1;
 

@@ -1,0 +1,216 @@
+//! `repro serve` / `repro client` — the cross-process service smoke.
+//!
+//! `serve` builds a deterministic [`CorrelatedIndex`], stands up the query
+//! server from `skewsearch-server` on an OS-assigned loopback port, writes
+//! the bound address to a port file (atomically: temp file + rename, so a
+//! polling reader never observes a partial write), and blocks forever.
+//! `client`, run in a **separate process**, reads the address, replays the
+//! identical seeded query stream over the wire — searches, a batch, one
+//! insert, and post-mutation re-queries — and prints every answer as TSV.
+//! `client --in-process` answers the *same* stream by direct method calls
+//! on a locally built copy of the same index. CI diffs the two outputs
+//! byte-for-byte: the network layer must be answer-invisible, crossing real
+//! sockets and process boundaries rather than the in-process harness of
+//! `tests/service_equivalence.rs`.
+
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skewsearch_core::{
+    CorrelatedIndex, CorrelatedParams, IndexOptions, Repetitions, SetSimilaritySearch, TaggedMatch,
+};
+use skewsearch_datagen::{correlated_query, BernoulliProfile, Dataset, VectorSampler};
+use skewsearch_server::{
+    share, ClientError, QueryService, Server, ServerConfig, ServerHooks, ServiceClient,
+};
+use skewsearch_sets::SparseVec;
+use std::net::SocketAddr;
+use std::path::Path;
+
+/// Deterministic inputs shared by `serve` and both `client` modes.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Dataset size `n`.
+    pub scale: usize,
+    /// Master seed; dataset, build, queries, and the inserted set each
+    /// derive their own [`StdRng`] stream from it.
+    pub seed: u64,
+    /// Number of correlated queries in the stream.
+    pub queries: usize,
+    /// Query correlation `α`.
+    pub alpha: f64,
+}
+
+impl ServiceConfig {
+    /// The CI smoke setting: builds in seconds, answers are non-trivial.
+    pub fn default_config() -> Self {
+        Self {
+            scale: 300,
+            seed: 42,
+            queries: 16,
+            alpha: 0.8,
+        }
+    }
+
+    fn profile(&self) -> BernoulliProfile {
+        // lint:allow(no-panic-in-lib, experiment driver — fixed valid constants)
+        BernoulliProfile::two_block(800, 0.15, 0.01).unwrap()
+    }
+
+    /// The index, rebuilt identically in the server and the in-process
+    /// client (the build consumes its own RNG stream, so either side can
+    /// skip the other's work without perturbing anything).
+    fn index(&self) -> (BernoulliProfile, Dataset, CorrelatedIndex) {
+        let profile = self.profile();
+        let mut data_rng = StdRng::seed_from_u64(self.seed);
+        let ds = Dataset::generate(&profile, self.scale, &mut data_rng);
+        let mut build_rng = StdRng::seed_from_u64(self.seed ^ 0xB01D);
+        let index = CorrelatedIndex::build(
+            &ds,
+            &profile,
+            CorrelatedParams::new(self.alpha)
+                // lint:allow(no-panic-in-lib, experiment driver — an invalid experiment config is a fatal setup error reported by panicking)
+                .unwrap()
+                .with_options(IndexOptions {
+                    repetitions: Repetitions::Fixed(6),
+                    ..IndexOptions::default()
+                }),
+            &mut build_rng,
+        );
+        (profile, ds, index)
+    }
+
+    /// The query stream, regenerated identically in every process.
+    fn query_stream(&self, profile: &BernoulliProfile, ds: &Dataset) -> Vec<SparseVec> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x51E57);
+        (0..self.queries)
+            .map(|_| {
+                let target = rng.random_range(0..ds.n());
+                correlated_query(ds.vector(target), profile, self.alpha, &mut rng)
+            })
+            .collect()
+    }
+
+    /// The one set the smoke inserts mid-stream, from its own seed stream.
+    fn insert_set(&self, profile: &BernoulliProfile) -> SparseVec {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1A5E7);
+        VectorSampler::new(profile).sample(&mut rng)
+    }
+}
+
+/// Builds the index, binds the server on `127.0.0.1:0`, publishes the bound
+/// address via `port_file`, and parks forever (CI backgrounds and kills the
+/// process). The port file is written next to its final path and renamed
+/// into place so a polling reader sees either nothing or the full address.
+pub fn serve(config: &ServiceConfig, port_file: &Path) -> std::io::Result<()> {
+    let (_, _, index) = config.index();
+    let service = QueryService::new(share(index));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig::default(),
+        ServerHooks::default(),
+    )?;
+    let addr = server.local_addr();
+    let tmp = port_file.with_extension("tmp");
+    std::fs::write(&tmp, format!("{addr}\n"))?;
+    std::fs::rename(&tmp, port_file)?;
+    eprintln!(
+        "[serve] listening on {addr} (scale {}, seed {})",
+        config.scale, config.seed
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Reads the address `serve` published into `port_file`.
+pub fn read_port_file(port_file: &Path) -> std::io::Result<SocketAddr> {
+    let text = std::fs::read_to_string(port_file)?;
+    text.trim().parse().map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: bad address ({e})", port_file.display()),
+        )
+    })
+}
+
+/// Answers the smoke's request script over the wire against a running
+/// server. Byte-identical output to [`answers_in_process`] is the contract.
+pub fn answers_over_wire(config: &ServiceConfig, addr: SocketAddr) -> Result<Table, ClientError> {
+    let (profile, ds, _) = config.index();
+    let queries = config.query_stream(&profile, &ds);
+    let dims: Vec<Vec<u32>> = queries.iter().map(|q| q.iter().collect()).collect();
+    let mut client = ServiceClient::connect(addr)?;
+
+    let mut t = table_shell();
+    for (i, d) in dims.iter().enumerate() {
+        push_matches(&mut t, "search", i, &client.search(d, None)?);
+    }
+    for (i, per_query) in client.search_batch(&dims, None)?.iter().enumerate() {
+        push_matches(&mut t, "batch", i, per_query);
+    }
+    let inserted = config.insert_set(&profile);
+    let id = client.insert(&inserted.iter().collect::<Vec<u32>>())?;
+    t.push_row(vec!["insert".into(), "-".into(), id.to_string()]);
+    for (i, d) in dims.iter().take(4).enumerate() {
+        push_matches(&mut t, "post_insert", i, &client.search(d, None)?);
+    }
+    Ok(t)
+}
+
+/// Answers the same script by direct method calls on a local build of the
+/// same index — the oracle side of the cross-process diff.
+pub fn answers_in_process(config: &ServiceConfig) -> Table {
+    let (profile, ds, mut index) = config.index();
+    let queries = config.query_stream(&profile, &ds);
+
+    let mut t = table_shell();
+    for (i, q) in queries.iter().enumerate() {
+        push_matches(&mut t, "search", i, &index.search_all_tagged(q));
+    }
+    for (i, q) in queries.iter().enumerate() {
+        push_matches(&mut t, "batch", i, &index.search_all_tagged(q));
+    }
+    let inserted = config.insert_set(&profile);
+    let id = index
+        .insert(inserted)
+        // lint:allow(no-panic-in-lib, experiment driver — the correlated index always supports insert)
+        .unwrap();
+    t.push_row(vec!["insert".into(), "-".into(), id.to_string()]);
+    for (i, q) in queries.iter().take(4).enumerate() {
+        push_matches(&mut t, "post_insert", i, &index.search_all_tagged(q));
+    }
+    t
+}
+
+fn table_shell() -> Table {
+    Table::new(
+        "Service smoke: answers over the wire",
+        &["surface", "query", "matches"],
+    )
+}
+
+/// One row per (surface, query): every tagged match as
+/// `pass:step:id:sim_bits` — the similarity is rendered as the 16-hex-digit
+/// IEEE bit pattern, so the diff is exact, not decimal-rounded.
+fn push_matches(t: &mut Table, surface: &str, query: usize, matches: &[TaggedMatch]) {
+    let rendered = if matches.is_empty() {
+        "-".to_string()
+    } else {
+        matches
+            .iter()
+            .map(|m| {
+                format!(
+                    "{}:{}:{}:{:016x}",
+                    m.pass,
+                    m.step,
+                    m.hit.id,
+                    m.hit.similarity.to_bits()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    t.push_row(vec![surface.to_string(), query.to_string(), rendered]);
+}

@@ -1,0 +1,316 @@
+//! A small blocking client for the query service.
+//!
+//! This is the *test harness's* view of the server: every helper decodes
+//! the typed wire format back into core types, so the equivalence suite can
+//! compare a served answer against a direct in-process call with
+//! `assert_eq!`. [`ServiceClient::raw_request`] additionally returns the
+//! exact response bytes, which is what the golden-file fixtures pin.
+//!
+//! One client owns one keep-alive connection. If the server answers
+//! `Connection: close` (overload rejections, protocol errors), the client
+//! transparently reconnects on the next request — the typed error from the
+//! closed exchange is still surfaced to the caller.
+
+use crate::json::Json;
+use crate::wire::{dims_to_json, matches_from_json, ErrorKind, ServiceError};
+use skewsearch_core::{SetId, TaggedMatch};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, or write).
+    Io(std::io::Error),
+    /// The server answered with a typed error from the wire taxonomy.
+    Service(ServiceError),
+    /// The server's bytes did not decode as the expected wire format.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Service(e) => write!(f, "service error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One full response exchange, decoded just enough to route on status.
+#[derive(Clone, Debug)]
+pub struct RawResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (exactly `Content-Length` long).
+    pub body: Vec<u8>,
+    /// The exact bytes the server sent, head and body, unmodified.
+    pub bytes: Vec<u8>,
+    /// Whether the server announced `Connection: close`.
+    pub close: bool,
+}
+
+/// A blocking keep-alive client for one server address.
+pub struct ServiceClient {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl ServiceClient {
+    /// Connects to `addr` eagerly (so connection refusal surfaces here, not
+    /// on the first request).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServiceClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
+        let mut client = ServiceClient { addr, conn: None };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        self.conn = Some(BufReader::new(TcpStream::connect(self.addr)?));
+        Ok(())
+    }
+
+    /// Sends one request and reads the full response. The returned
+    /// [`RawResponse`] carries the exact on-wire bytes; no status routing is
+    /// applied — a `429` or `400` is returned as data, not as an error.
+    pub fn raw_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<RawResponse, ClientError> {
+        if self.conn.is_none() {
+            self.reconnect()?;
+        }
+        let Some(reader) = self.conn.as_mut() else {
+            return Err(ClientError::Protocol("not connected".to_string()));
+        };
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: skewsearch\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut request = head.into_bytes();
+        request.extend_from_slice(body);
+        reader.get_mut().write_all(&request)?;
+        let response = read_response(reader);
+        if response.as_ref().map_or(true, |r| r.close) {
+            // Either the server said close or the read failed; this
+            // connection is done. The next request reconnects.
+            self.conn = None;
+        }
+        response
+    }
+
+    fn exchange(&mut self, path: &str, body: &Json) -> Result<Vec<String>, ClientError> {
+        let raw = self.raw_request("POST", path, body.encode().as_bytes())?;
+        decode_lines(&raw)
+    }
+
+    fn request_json(&mut self, path: &str, body: &Json) -> Result<Json, ClientError> {
+        let lines = self.exchange(path, body)?;
+        let [line] = lines.as_slice() else {
+            return Err(ClientError::Protocol(format!(
+                "expected one response line, got {}",
+                lines.len()
+            )));
+        };
+        Json::parse(line).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn get_json(&mut self, path: &str) -> Result<Json, ClientError> {
+        let raw = self.raw_request("GET", path, b"")?;
+        let lines = decode_lines(&raw)?;
+        let [line] = lines.as_slice() else {
+            return Err(ClientError::Protocol(format!(
+                "expected one response line, got {}",
+                lines.len()
+            )));
+        };
+        Json::parse(line).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// `POST /search`: all matches for one query, in the server's
+    /// first-discovery order, decoded bit-exactly.
+    pub fn search(
+        &mut self,
+        dims: &[u32],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<TaggedMatch>, ClientError> {
+        let mut members = vec![("dims", dims_to_json(dims))];
+        if let Some(ms) = deadline_ms {
+            members.push(("deadline_ms", Json::Num(ms)));
+        }
+        let response = self.request_json("/search", &Json::obj(members))?;
+        let matches = response
+            .get("matches")
+            .ok_or_else(|| ClientError::Protocol("response missing \"matches\"".to_string()))?;
+        matches_from_json(matches).map_err(ClientError::Protocol)
+    }
+
+    /// `POST /search_batch`: one match list per query, order-aligned with
+    /// the request.
+    pub fn search_batch(
+        &mut self,
+        queries: &[Vec<u32>],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Vec<TaggedMatch>>, ClientError> {
+        let encoded = Json::Arr(queries.iter().map(|q| dims_to_json(q)).collect());
+        let mut members = vec![("queries", encoded)];
+        if let Some(ms) = deadline_ms {
+            members.push(("deadline_ms", Json::Num(ms)));
+        }
+        let lines = self.exchange("/search_batch", &Json::obj(members))?;
+        if lines.len() != queries.len() {
+            return Err(ClientError::Protocol(format!(
+                "expected {} response lines, got {}",
+                queries.len(),
+                lines.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            let parsed = Json::parse(line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+            let idx = parsed.get("query").and_then(Json::as_u64);
+            if idx != Some(i as u64) {
+                return Err(ClientError::Protocol(format!(
+                    "response line {i} tagged with query {idx:?}"
+                )));
+            }
+            let matches = parsed
+                .get("matches")
+                .ok_or_else(|| ClientError::Protocol("line missing \"matches\"".to_string()))?;
+            out.push(matches_from_json(matches).map_err(ClientError::Protocol)?);
+        }
+        Ok(out)
+    }
+
+    /// `POST /insert`: adds a set, returning its assigned id.
+    pub fn insert(&mut self, dims: &[u32]) -> Result<SetId, ClientError> {
+        let response =
+            self.request_json("/insert", &Json::obj(vec![("dims", dims_to_json(dims))]))?;
+        let id = response
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("response missing integer \"id\"".to_string()))?;
+        usize::try_from(id).map_err(|_| ClientError::Protocol("id out of range".to_string()))
+    }
+
+    /// `POST /remove`: removes a set by id; `Ok(false)` when it was absent.
+    pub fn remove(&mut self, id: SetId) -> Result<bool, ClientError> {
+        let response =
+            self.request_json("/remove", &Json::obj(vec![("id", Json::Num(id as u64))]))?;
+        response
+            .get("removed")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ClientError::Protocol("response missing bool \"removed\"".to_string()))
+    }
+
+    /// `GET /healthz` as parsed JSON.
+    pub fn healthz(&mut self) -> Result<Json, ClientError> {
+        self.get_json("/healthz")
+    }
+
+    /// `GET /stats` as parsed JSON.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.get_json("/stats")
+    }
+}
+
+/// Routes a raw response: `200` yields its NDJSON lines; anything else
+/// decodes the typed error body into [`ClientError::Service`].
+fn decode_lines(raw: &RawResponse) -> Result<Vec<String>, ClientError> {
+    let body = std::str::from_utf8(&raw.body)
+        .map_err(|_| ClientError::Protocol("response body is not UTF-8".to_string()))?;
+    if raw.status == 200 {
+        return Ok(body.lines().map(str::to_string).collect());
+    }
+    let parsed = Json::parse(body.trim_end_matches('\n'))
+        .map_err(|e| ClientError::Protocol(format!("undecodable error body: {e}")))?;
+    let err = parsed
+        .get("error")
+        .ok_or_else(|| ClientError::Protocol("error body missing \"error\"".to_string()))?;
+    let kind = err
+        .get("kind")
+        .and_then(Json::as_str)
+        .and_then(ErrorKind::from_wire)
+        .ok_or_else(|| ClientError::Protocol("error body has no known \"kind\"".to_string()))?;
+    let detail = err.get("detail").and_then(Json::as_str).unwrap_or_default();
+    Err(ClientError::Service(ServiceError::new(kind, detail)))
+}
+
+/// Reads one full HTTP/1.1 response, capturing the exact bytes.
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<RawResponse, ClientError> {
+    let mut bytes = Vec::new();
+    let mut status: Option<u16> = None;
+    let mut content_length: usize = 0;
+    let mut close = false;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before response head".to_string(),
+            ));
+        }
+        bytes.extend_from_slice(line.as_bytes());
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        match status {
+            None => {
+                let mut parts = trimmed.split(' ');
+                let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+                    return Err(ClientError::Protocol(format!(
+                        "bad status line {trimmed:?}"
+                    )));
+                };
+                if !version.starts_with("HTTP/1.") {
+                    return Err(ClientError::Protocol(format!(
+                        "bad status line {trimmed:?}"
+                    )));
+                }
+                let code: u16 = code
+                    .parse()
+                    .map_err(|_| ClientError::Protocol(format!("bad status code {code:?}")))?;
+                status = Some(code);
+            }
+            Some(code) => {
+                if trimmed.is_empty() {
+                    let mut body = vec![0u8; content_length];
+                    reader.read_exact(&mut body)?;
+                    bytes.extend_from_slice(&body);
+                    return Ok(RawResponse {
+                        status: code,
+                        body,
+                        bytes,
+                        close,
+                    });
+                }
+                let Some((name, value)) = trimmed.split_once(':') else {
+                    return Err(ClientError::Protocol(format!(
+                        "bad header line {trimmed:?}"
+                    )));
+                };
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().map_err(|_| {
+                        ClientError::Protocol(format!("bad content-length {value:?}"))
+                    })?;
+                } else if name.eq_ignore_ascii_case("connection") {
+                    close = value.eq_ignore_ascii_case("close");
+                }
+            }
+        }
+    }
+}

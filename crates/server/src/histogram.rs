@@ -1,0 +1,243 @@
+//! A lock-free, log-bucketed latency histogram.
+//!
+//! Sixteen linear sub-buckets per power of two (HdrHistogram's layout at
+//! low resolution): bucket widths grow geometrically, so the whole
+//! nanosecond-to-minutes range fits in 976 counters while any quantile
+//! estimate is off by at most one sub-bucket width — a ≤ 6.25% relative
+//! overestimate, ample for p50/p99 SLO tracking (`docs/SERVICE.md` §SLO
+//! methodology).
+//!
+//! Recording is one atomic increment on a plain array — no locks, no
+//! allocation — so worker threads on the request hot path never contend.
+//! Counters use relaxed atomics throughout: each counter is independent,
+//! nothing is ordered *by* a count, and a `/stats` snapshot taken while
+//! requests are in flight is allowed to tear between buckets (it is a
+//! monitoring read, not a consistency point).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per octave, as a power of two.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: one linear group for values `< SUB`, then one group
+/// of `SUB` buckets per remaining octave of the `u64` range (60 octaves for
+/// `SUB_BITS = 4`), 976 buckets in all.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// Lock-free latency histogram over `u64` values (nanoseconds by
+/// convention; the histogram itself is unit-agnostic and never reads a
+/// clock).
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], cheap to query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+    /// `(bucket lower bound, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value: identity below `SUB`, then
+    /// `(octave, top SUB_BITS mantissa bits)`.
+    fn index(value: u64) -> usize {
+        if value < SUB as u64 {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros(); // >= SUB_BITS
+        let group = (exp - SUB_BITS + 1) as usize;
+        let sub = ((value >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        group * SUB + sub
+    }
+
+    /// Inclusive lower bound of bucket `idx`.
+    fn lower_bound(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let group = (idx / SUB) as u32;
+        let sub = (idx % SUB) as u64;
+        (SUB as u64 + sub) << (group - 1)
+    }
+
+    /// Exclusive upper bound of bucket `idx` (`u64::MAX` for the last).
+    fn upper_bound(idx: usize) -> u64 {
+        if idx + 1 < BUCKETS {
+            Self::lower_bound(idx + 1)
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Records one value. Lock-free; safe from any thread.
+    pub fn record(&self, value: u64) {
+        // Relaxed: counters are independent tallies — no other memory is
+        // published by these writes, and snapshot readers tolerate tearing.
+        self.buckets[Self::index(value)].fetch_add(1, Ordering::Relaxed);
+        // Relaxed: same monitoring-only tally as above.
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Relaxed: fetch_max is atomic per-cell; monitoring-only.
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        // Relaxed: monitoring-only read of an independent tally.
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An upper-edge estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// exclusive upper bound of the bucket containing the `⌈q·count⌉`-th
+    /// smallest recorded value — at most one sub-bucket width (≤ 6.25%)
+    /// above the true quantile. Returns 0 when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Copies the live counters into an immutable snapshot. Concurrent
+    /// `record` calls may or may not be included — the snapshot is a
+    /// monitoring view, not a barrier.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut total = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            // Relaxed: monitoring-only read; tearing across buckets is
+            // acceptable by the snapshot contract.
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((Self::lower_bound(idx), n));
+                total += n;
+            }
+        }
+        HistogramSnapshot {
+            count: total,
+            // Relaxed: monitoring-only read.
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Quantile over the snapshot — see [`LatencyHistogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lower, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Upper edge of this bucket: the next bucket's lower bound.
+                let idx = LatencyHistogram::index(lower);
+                return LatencyHistogram::upper_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Every bucket's lower bound maps back to its own index, bounds
+        // ascend strictly, and consecutive buckets are adjacent.
+        for idx in 0..BUCKETS {
+            let lo = LatencyHistogram::lower_bound(idx);
+            assert_eq!(LatencyHistogram::index(lo), idx, "idx {idx} lo {lo}");
+            let hi = LatencyHistogram::upper_bound(idx);
+            assert!(lo < hi);
+            if hi != u64::MAX {
+                assert_eq!(LatencyHistogram::index(hi), idx + 1);
+                assert_eq!(LatencyHistogram::index(hi - 1), idx);
+            }
+        }
+        assert_eq!(LatencyHistogram::index(u64::MAX), BUCKETS - 1);
+        assert_eq!(LatencyHistogram::index(0), 0);
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_value_from_above_within_a_sub_bucket() {
+        let h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, truth) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let est = h.quantile(q);
+            assert!(est >= truth, "q={q}: {est} < {truth}");
+            // Upper-edge estimate: within one sub-bucket width.
+            assert!(
+                (est as f64) <= truth as f64 * (1.0 + 1.0 / SUB as f64) + 1.0,
+                "q={q}: {est} too far above {truth}"
+            );
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.snapshot().max, 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.max, 0);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads = 8;
+        let per = 10_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        h.record(t * per + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), threads * per);
+        assert_eq!(h.snapshot().count, threads * per);
+    }
+
+    #[test]
+    fn max_is_exact_not_bucketed() {
+        let h = LatencyHistogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.snapshot().max, 1_000_003);
+        // The p100 estimate is clamped to the exact max.
+        assert_eq!(h.quantile(1.0), 1_000_003);
+    }
+}

@@ -1,0 +1,468 @@
+//! A minimal, dependency-free JSON value for the service wire format.
+//!
+//! The protocol (`docs/SERVICE.md`) needs exactly five shapes: objects,
+//! arrays, strings, booleans, and **non-negative integers** — similarities
+//! travel as IEEE-754 bit patterns in hex strings precisely so that no
+//! float ever crosses the wire (float formatting/parsing is the classic
+//! source of byte-level drift between a served answer and a direct call).
+//! This module therefore rejects fractional and negative numbers outright:
+//! a smaller grammar is a stricter protocol.
+//!
+//! Serialization is deterministic: object members keep insertion order and
+//! strings escape the same way on every platform — which is what lets the
+//! golden-file tests (`tests/service_wire_golden.rs`) pin exact response
+//! bytes.
+
+/// A parsed JSON value (see the module docs for the supported grammar).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (the only number shape the protocol uses).
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members keep insertion order for deterministic encoding.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Where and why parsing failed. `offset` is a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Convenience constructor for an object literal.
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Member lookup on an object; `None` for missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes to the canonical compact form (no whitespace, members in
+    /// insertion order) — the byte encoding the golden fixtures pin.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                out.push_str(&n.to_string());
+            }
+            Json::Str(s) => encode_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_str(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one complete JSON value; trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the value"));
+        }
+        Ok(value)
+    }
+}
+
+fn encode_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Nesting depth cap: the protocol never nests past ~4 levels, and a bound
+/// turns adversarial `[[[[…]]]]` bodies into a typed error instead of a
+/// stack overflow.
+const MAX_DEPTH: usize = 32;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("value nested too deeply"));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Json::Null),
+            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b'-') => Err(self.err("negative numbers are not part of the protocol")),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("fractional numbers are not part of the protocol"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.len() > 1 && text.starts_with('0') {
+            return Err(self.err("numbers must not have leading zeros"));
+        }
+        let n: u64 = text
+            .parse()
+            .map_err(|_| self.err("number does not fit in 64 bits"))?;
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            // Only Basic Multilingual Plane escapes: the
+                            // protocol's strings are ASCII in practice, and
+                            // surrogate-pair recombination is complexity the
+                            // server is better off rejecting.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("escape is not a scalar value"))?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 scalar (the input is a &str, so
+                    // the boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let step = match rest[0] {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let taken = &rest[..step.min(rest.len())];
+                    match std::str::from_utf8(taken) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                    self.pos += step;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code: u32 = 0;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.err("expected four hex digits")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) {
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.encode(), text);
+    }
+
+    #[test]
+    fn roundtrips_canonical_forms() {
+        roundtrip("null");
+        roundtrip("true");
+        roundtrip("false");
+        roundtrip("0");
+        roundtrip("18446744073709551615");
+        roundtrip(r#""hello""#);
+        roundtrip(r#"[1,2,3]"#);
+        roundtrip(r#"{"a":1,"b":[true,null],"c":{"d":"x"}}"#);
+        roundtrip(r#""quote \" backslash \\ newline \n""#);
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let v = Json::parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(v.encode(), r#"{"z":1,"a":2}"#);
+        assert_eq!(v.get("z"), Some(&Json::Num(1)));
+        assert_eq!(v.get("a"), Some(&Json::Num(2)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn accepts_whitespace_and_escapes() {
+        let v = Json::parse(" { \"k\" : [ 1 , \"\\u0041\" ] } ").unwrap();
+        assert_eq!(v.encode(), r#"{"k":[1,"A"]}"#);
+    }
+
+    #[test]
+    fn rejects_what_the_protocol_never_sends() {
+        for bad in [
+            "",
+            "-1",
+            "1.5",
+            "1e3",
+            "01",
+            "nul",
+            "[1,]",
+            "{\"a\"}",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "\u{1}",
+            "99999999999999999999999999",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_deep_nesting_without_overflow() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn control_characters_encode_as_escapes() {
+        let v = Json::Str("\u{1}\t".to_string());
+        assert_eq!(v.encode(), r#""\u0001\t""#);
+        assert_eq!(Json::parse(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn non_ascii_roundtrips() {
+        let v = Json::Str("héllo → 世界".to_string());
+        assert_eq!(Json::parse(&v.encode()).unwrap(), v);
+    }
+}

@@ -1,0 +1,42 @@
+//! A long-lived query service over any skewsearch index.
+//!
+//! This crate turns the in-process enumerate→probe→verify pipeline into a
+//! network service without adding a single dependency: a hand-rolled
+//! HTTP/1.1 front end over [`std::net::TcpListener`], line-delimited JSON
+//! on the wire, and a test-first contract that a served answer is
+//! **byte-identical** to the direct in-process call — for every index type,
+//! under concurrent clients, with mutations interleaved
+//! (`tests/service_equivalence.rs`).
+//!
+//! The service layers three guarantees on top of the core pipeline:
+//!
+//! - **Admission control** ([`Server`]): a bounded connection queue; when
+//!   full, new connections get a typed `429 overloaded` in one round trip
+//!   instead of queueing unboundedly.
+//! - **Deadlines** ([`QueryService`]): a request's `deadline_ms` is checked
+//!   between pipeline stages; expiry yields a typed `504
+//!   deadline-exceeded` and never a partial answer.
+//! - **Observability** ([`LatencyHistogram`]): a lock-free log-bucketed
+//!   histogram behind `GET /stats`, feeding the p50/p99 numbers in
+//!   `BENCHMARKS.md` §service.
+//!
+//! Wire format, endpoint grammar, and the error taxonomy are specified in
+//! `docs/SERVICE.md` and pinned byte-for-byte by
+//! `tests/service_wire_golden.rs`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod histogram;
+pub mod json;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use client::{ClientError, RawResponse, ServiceClient};
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use json::{Json, JsonError};
+pub use server::{Server, ServerConfig, ServerHooks};
+pub use service::{share, QueryService, Response, ServiceStats, SharedIndex};
+pub use wire::{ErrorKind, ServiceError};

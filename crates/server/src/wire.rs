@@ -1,0 +1,284 @@
+//! The typed wire vocabulary of the query service.
+//!
+//! Everything that crosses the TCP boundary is specified here and in
+//! `docs/SERVICE.md`: the error taxonomy (each kind has a stable string and
+//! an HTTP status), and the JSON codecs for matches and dimension lists.
+//!
+//! **Byte-exactness.** A match's similarity is an `f64` computed by the
+//! index; the service-equivalence contract demands that a decoded response
+//! equal the direct in-process answer *bit for bit*. Floats therefore
+//! travel as their IEEE-754 bit pattern (`"sim_bits"`, 16 lowercase hex
+//! digits) — lossless by construction — alongside a human-readable
+//! rendering (`"sim"`) that decoders must ignore.
+
+use crate::json::Json;
+use skewsearch_core::{Match, TaggedMatch};
+
+/// The service's typed error taxonomy. Every non-2xx response body is
+/// `{"error":{"kind":<stable string>,"detail":<free text>}}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Unparseable or semantically invalid request (`400`).
+    BadRequest,
+    /// Unknown endpoint path (`404`).
+    NotFound,
+    /// Known path, wrong HTTP method (`405`).
+    MethodNotAllowed,
+    /// Mutation endpoint hit while the served index is read-only (`409`).
+    ReadOnly,
+    /// The bounded admission queue was full — the typed overload rejection
+    /// (`429`). Clients should back off and retry.
+    Overloaded,
+    /// The request's deadline expired before the answer was complete
+    /// (`504`). No partial answer is ever returned.
+    DeadlineExceeded,
+}
+
+impl ErrorKind {
+    /// The HTTP status code this kind maps to.
+    pub fn status(self) -> u16 {
+        match self {
+            ErrorKind::BadRequest => 400,
+            ErrorKind::NotFound => 404,
+            ErrorKind::MethodNotAllowed => 405,
+            ErrorKind::ReadOnly => 409,
+            ErrorKind::Overloaded => 429,
+            ErrorKind::DeadlineExceeded => 504,
+        }
+    }
+
+    /// The stable wire string (the `"kind"` member).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::NotFound => "not-found",
+            ErrorKind::MethodNotAllowed => "method-not-allowed",
+            ErrorKind::ReadOnly => "read-only",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+
+    /// Parses a wire string back to its kind.
+    pub fn from_wire(s: &str) -> Option<ErrorKind> {
+        match s {
+            "bad-request" => Some(ErrorKind::BadRequest),
+            "not-found" => Some(ErrorKind::NotFound),
+            "method-not-allowed" => Some(ErrorKind::MethodNotAllowed),
+            "read-only" => Some(ErrorKind::ReadOnly),
+            "overloaded" => Some(ErrorKind::Overloaded),
+            "deadline-exceeded" => Some(ErrorKind::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// The HTTP reason phrase for [`ErrorKind::status`].
+    pub fn reason(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "Bad Request",
+            ErrorKind::NotFound => "Not Found",
+            ErrorKind::MethodNotAllowed => "Method Not Allowed",
+            ErrorKind::ReadOnly => "Conflict",
+            ErrorKind::Overloaded => "Too Many Requests",
+            ErrorKind::DeadlineExceeded => "Gateway Timeout",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed service error: kind plus free-text detail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceError {
+    /// The taxonomy entry (drives status code and wire string).
+    pub kind: ErrorKind,
+    /// Free-text diagnosis for humans; never parsed by clients.
+    pub detail: String,
+}
+
+impl ServiceError {
+    /// Constructs an error of `kind` with the given detail text.
+    pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        ServiceError {
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// The response body: `{"error":{"kind":…,"detail":…}}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![(
+            "error",
+            Json::obj(vec![
+                ("kind", Json::Str(self.kind.as_str().to_string())),
+                ("detail", Json::Str(self.detail.clone())),
+            ]),
+        )])
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Encodes a similarity losslessly: 16 lowercase hex digits of
+/// [`f64::to_bits`].
+pub fn sim_bits(similarity: f64) -> String {
+    format!("{:016x}", similarity.to_bits())
+}
+
+/// Decodes [`sim_bits`] back to the exact `f64`.
+pub fn sim_from_bits(hex: &str) -> Result<f64, String> {
+    if hex.len() != 16 {
+        return Err(format!("sim_bits must be 16 hex digits, got {:?}", hex));
+    }
+    u64::from_str_radix(hex, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("invalid sim_bits {hex:?}: {e}"))
+}
+
+/// One tagged match as a JSON object:
+/// `{"pass":…,"step":…,"id":…,"sim":…,"sim_bits":…}`.
+pub fn tagged_match_to_json(t: &TaggedMatch) -> Json {
+    Json::obj(vec![
+        ("pass", Json::Num(u64::from(t.pass))),
+        ("step", Json::Num(u64::from(t.step))),
+        ("id", Json::Num(t.hit.id as u64)),
+        ("sim", Json::Str(format!("{}", t.hit.similarity))),
+        ("sim_bits", Json::Str(sim_bits(t.hit.similarity))),
+    ])
+}
+
+/// Decodes [`tagged_match_to_json`]; the `"sim"` member is ignored — only
+/// the bit pattern is authoritative.
+pub fn tagged_match_from_json(v: &Json) -> Result<TaggedMatch, String> {
+    let field = |key: &str| {
+        v.get(key)
+            .ok_or_else(|| format!("match object missing {key:?}"))
+    };
+    let num = |key: &str| {
+        field(key)?
+            .as_u64()
+            .ok_or_else(|| format!("match member {key:?} must be an integer"))
+    };
+    let pass = u32::try_from(num("pass")?).map_err(|_| "pass out of range".to_string())?;
+    let step = u32::try_from(num("step")?).map_err(|_| "step out of range".to_string())?;
+    let id = usize::try_from(num("id")?).map_err(|_| "id out of range".to_string())?;
+    let bits = field("sim_bits")?
+        .as_str()
+        .ok_or_else(|| "sim_bits must be a string".to_string())?;
+    let similarity = sim_from_bits(bits)?;
+    Ok(TaggedMatch {
+        pass,
+        step,
+        hit: Match { id, similarity },
+    })
+}
+
+/// A match list as a JSON array.
+pub fn matches_to_json(matches: &[TaggedMatch]) -> Json {
+    Json::Arr(matches.iter().map(tagged_match_to_json).collect())
+}
+
+/// Decodes [`matches_to_json`].
+pub fn matches_from_json(v: &Json) -> Result<Vec<TaggedMatch>, String> {
+    v.as_arr()
+        .ok_or_else(|| "matches must be an array".to_string())?
+        .iter()
+        .map(tagged_match_from_json)
+        .collect()
+}
+
+/// A sorted-or-not dimension list as a JSON array of integers.
+pub fn dims_to_json(dims: &[u32]) -> Json {
+    Json::Arr(dims.iter().map(|&d| Json::Num(u64::from(d))).collect())
+}
+
+/// Decodes a `"dims"`-style array; every element must fit in `u32`.
+pub fn dims_from_json(v: &Json) -> Result<Vec<u32>, String> {
+    v.as_arr()
+        .ok_or_else(|| "dims must be an array of integers".to_string())?
+        .iter()
+        .map(|item| {
+            let n = item
+                .as_u64()
+                .ok_or_else(|| "dims elements must be integers".to_string())?;
+            u32::try_from(n).map_err(|_| format!("dimension {n} does not fit in u32"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_roundtrips_and_has_a_distinct_status() {
+        let kinds = [
+            ErrorKind::BadRequest,
+            ErrorKind::NotFound,
+            ErrorKind::MethodNotAllowed,
+            ErrorKind::ReadOnly,
+            ErrorKind::Overloaded,
+            ErrorKind::DeadlineExceeded,
+        ];
+        let mut statuses: Vec<u16> = kinds.iter().map(|k| k.status()).collect();
+        statuses.dedup();
+        assert_eq!(statuses.len(), kinds.len());
+        for k in kinds {
+            assert_eq!(ErrorKind::from_wire(k.as_str()), Some(k));
+        }
+        assert_eq!(ErrorKind::from_wire("nope"), None);
+    }
+
+    #[test]
+    fn similarity_bits_roundtrip_exactly() {
+        for sim in [0.0, 1.0, 0.1 + 0.2, 2.0 / 3.0, f64::MIN_POSITIVE] {
+            let m = TaggedMatch {
+                pass: 3,
+                step: 7,
+                hit: Match {
+                    id: 42,
+                    similarity: sim,
+                },
+            };
+            let back = tagged_match_from_json(&tagged_match_to_json(&m)).unwrap();
+            assert_eq!(back.pass, 3);
+            assert_eq!(back.step, 7);
+            assert_eq!(back.hit.id, 42);
+            assert_eq!(back.hit.similarity.to_bits(), sim.to_bits());
+        }
+    }
+
+    #[test]
+    fn match_decoding_rejects_malformed_objects() {
+        for bad in [
+            r#"{"pass":0,"step":0,"id":0}"#,
+            r#"{"pass":0,"step":0,"id":0,"sim_bits":"xyz"}"#,
+            r#"{"pass":0,"step":0,"id":0,"sim_bits":123}"#,
+            r#"{"pass":4294967296,"step":0,"id":0,"sim_bits":"0000000000000000"}"#,
+            r#"[1]"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(tagged_match_from_json(&v).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn dims_roundtrip_and_reject_out_of_range() {
+        let dims = vec![0u32, 5, 4_294_967_295];
+        assert_eq!(dims_from_json(&dims_to_json(&dims)).unwrap(), dims);
+        let v = Json::parse("[4294967296]").unwrap();
+        assert!(dims_from_json(&v).is_err());
+        let v = Json::parse(r#"["x"]"#).unwrap();
+        assert!(dims_from_json(&v).is_err());
+    }
+}

@@ -13,6 +13,13 @@
 //! where even "just for logging" uses tend to leak into heuristics later.
 //! Timing belongs in benches and experiments; randomized *build* seeds come
 //! in through the caller's explicit `Rng`.
+//!
+//! The server crate (`crates/server/src/`) is also in scope: it sits
+//! directly on the query path (its equivalence contract is that a served
+//! answer is byte-identical to the in-process call), yet it legitimately
+//! needs *one* clock read to arm request deadlines and measure latency.
+//! That single site carries an explicit `lint:allow` with its
+//! justification; every other ambient read in the crate is a violation.
 
 use super::Lint;
 use crate::allow;
@@ -42,7 +49,7 @@ impl Lint for WallClockFreeQueryPath {
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
         let path = file.path.to_string_lossy().replace('\\', "/");
-        if !QUERY_PATH.contains(&path.as_str()) {
+        if !QUERY_PATH.contains(&path.as_str()) && !path.starts_with("crates/server/src/") {
             return;
         }
         for (idx, line) in file.lines.iter().enumerate() {

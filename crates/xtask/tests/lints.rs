@@ -312,6 +312,47 @@ fn wall_clock_passes_clean_and_allowed() {
 }
 
 #[test]
+fn wall_clock_covers_the_server_crate() {
+    // The service layer sits on the query path (byte-identical answers over
+    // the wire), so ambient reads there are violations too...
+    let source = fixture("wall_clock", "violating.rs");
+    let got = run(
+        "crates/server/src/server.rs",
+        "server",
+        FileKind::Lib,
+        false,
+        &source,
+    );
+    assert_eq!(got.len(), 3, "{got:?}");
+    assert!(got[0].contains("crates/server/src/server.rs:4"));
+    assert!(got[0].contains("[wall-clock-free-query-path]"));
+    // ...except the one justified deadline/latency site, which carries an
+    // explicit allowance exactly like core's escape hatch.
+    let allowed = fixture("wall_clock", "allowed.rs");
+    assert_eq!(
+        run(
+            "crates/server/src/service.rs",
+            "server",
+            FileKind::Lib,
+            false,
+            &allowed
+        ),
+        [] as [String; 0]
+    );
+    // Guard against scope creep in the other direction: extending coverage
+    // to the server must not have loosened core — a bare `Instant::now` in
+    // the engine still fails.
+    let core = run(
+        "crates/core/src/engine.rs",
+        "core",
+        FileKind::Lib,
+        false,
+        &source,
+    );
+    assert_eq!(core.len(), 3, "{core:?}");
+}
+
+#[test]
 fn malformed_or_unknown_allow_annotations_are_reported() {
     let source =
         "pub fn f() {}\n// lint:allow(no-panic-in-lib)\n// lint:allow(not-a-lint, reason)\n";

@@ -18,6 +18,9 @@
 //! * [`rho`] — solvers for the exponent equations of Theorems 1 and 2.
 //! * [`join`] — set similarity joins via repeated search (§1.1).
 //! * [`sets`], [`hashing`] — sparse-vector and hashing substrates.
+//! * [`server`] — the long-lived query service: bounded admission,
+//!   per-request deadlines, byte-identical answers over the wire
+//!   (`docs/SERVICE.md`).
 //! * [`experiments`] — the table/figure reproduction harness.
 //!
 //! # Quickstart
@@ -51,4 +54,5 @@ pub use skewsearch_experiments as experiments;
 pub use skewsearch_hashing as hashing;
 pub use skewsearch_join as join;
 pub use skewsearch_rho as rho;
+pub use skewsearch_server as server;
 pub use skewsearch_sets as sets;

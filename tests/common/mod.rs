@@ -1,10 +1,15 @@
 //! Helpers shared by the integration-test suites (each `tests/*.rs` file is
 //! its own crate; this module is pulled in with `mod common;`).
 
+pub mod mutation;
+
 /// Worker counts the parallel-equivalence suites exercise: 1 and 8 always,
 /// plus the value of `SKEWSEARCH_TEST_THREADS` when set. CI sets it to
 /// `nproc` on multicore hosts so the executor actually fans out across the
 /// real core count — see `.github/workflows/ci.yml`.
+///
+/// Not every suite that includes `common` calls this — hence the allow.
+#[allow(dead_code)]
 pub fn thread_counts() -> Vec<usize> {
     let mut counts = vec![1, 8];
     if let Some(t) = std::env::var("SKEWSEARCH_TEST_THREADS")

@@ -1,0 +1,105 @@
+//! Deadline semantics, pinned deterministically with the process-global
+//! enumeration counter: a request arriving with `deadline_ms: 0` is
+//! *already expired*, and the service must answer the typed
+//! `deadline-exceeded` error **without performing any enumeration work** —
+//! stage 1 of the pipeline never starts on a dead request.
+//!
+//! The counter is process-global, so everything here lives in **one** test
+//! function (the same discipline as `tests/enumeration_count.rs`): a second
+//! test in this binary would run on a concurrent thread and corrupt the
+//! measured deltas. Other test binaries are separate processes and cannot
+//! interfere.
+
+use rand::{rngs::StdRng, SeedableRng};
+use skewsearch::core::{
+    enumeration_count, CorrelatedIndex, CorrelatedParams, IndexOptions, Repetitions,
+    SetSimilaritySearch,
+};
+use skewsearch::datagen::{correlated_query, BernoulliProfile, Dataset};
+use skewsearch::server::{
+    share, ClientError, ErrorKind, QueryService, Server, ServerConfig, ServerHooks, ServiceClient,
+    ServiceStats,
+};
+
+const REPS: usize = 5;
+
+#[test]
+fn already_expired_deadlines_answer_typed_without_any_enumeration() {
+    let profile = BernoulliProfile::blocks(&[(60, 0.2), (900, 0.01)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xDEAD11);
+    let ds = Dataset::generate(&profile, 150, &mut rng);
+    let index = CorrelatedIndex::build(
+        &ds,
+        &profile,
+        CorrelatedParams::new(0.7)
+            .unwrap()
+            .with_options(IndexOptions {
+                repetitions: Repetitions::Fixed(REPS),
+                ..IndexOptions::default()
+            }),
+        &mut rng,
+    );
+    let q = correlated_query(ds.vector(3), &profile, 0.7, &mut rng);
+    let expected = index.search_all_tagged(&q);
+    let dims: Vec<u32> = q.iter().collect();
+
+    let service = QueryService::new(share(index));
+    let stats = service.stats();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig::default(),
+        ServerHooks::default(),
+    )
+    .expect("bind");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+
+    // Baseline: an undeadlined search enumerates once per repetition and
+    // answers identically to the direct call.
+    let before = enumeration_count();
+    let served = client.search(&dims, None).expect("undeadlined search");
+    assert_eq!(
+        enumeration_count() - before,
+        REPS as u64,
+        "one enumeration per repetition for a served query"
+    );
+    assert_eq!(served, expected, "served == direct");
+
+    // deadline_ms: 0 — already expired at arrival. Typed error, and the
+    // enumeration counter must not move at all.
+    let before = enumeration_count();
+    match client.search(&dims, Some(0)) {
+        Err(ClientError::Service(e)) => {
+            assert_eq!(e.kind, ErrorKind::DeadlineExceeded);
+        }
+        other => panic!("expected deadline-exceeded, got {other:?}"),
+    }
+    assert_eq!(
+        enumeration_count() - before,
+        0,
+        "an expired deadline must short-circuit before stage 1"
+    );
+    assert_eq!(ServiceStats::get(&stats.rejected_deadline), 1);
+
+    // Same for a whole batch: one expired deadline covers every query in
+    // the request, and none of them enumerates.
+    let before = enumeration_count();
+    let batch: Vec<Vec<u32>> = vec![dims.clone(), dims.clone()];
+    match client.search_batch(&batch, Some(0)) {
+        Err(ClientError::Service(e)) => {
+            assert_eq!(e.kind, ErrorKind::DeadlineExceeded);
+        }
+        other => panic!("expected deadline-exceeded, got {other:?}"),
+    }
+    assert_eq!(enumeration_count() - before, 0, "batch short-circuits too");
+
+    // A generous deadline changes nothing about the answer: deadlines are
+    // all-or-nothing, never a filter on results.
+    let served = client
+        .search(&dims, Some(60_000))
+        .expect("generous deadline");
+    assert_eq!(served, expected, "deadline never alters a completed answer");
+
+    drop(client);
+    server.shutdown();
+}

@@ -1,0 +1,182 @@
+//! Golden-file fixtures pinning the service's wire format byte-for-byte:
+//! one fixture per endpoint (success and failure shapes), each holding the
+//! **exact** HTTP response bytes — status line, headers, and NDJSON body.
+//!
+//! Every exchange runs against a *fresh* server over the same deterministic
+//! toy index, so counters, histogram, and ids are all reproducible and the
+//! full response (including `/stats`) is a pure function of the request.
+//! Responses carry no `Date`/`Server` headers by design
+//! (`Response::http_bytes` is the single serialization site).
+//!
+//! Regenerate after an intentional format change with:
+//! `SKEWSEARCH_BLESS=1 cargo test --test service_wire_golden`
+//! and review the diff — a fixture churn IS a wire-format break and must be
+//! called out in `docs/SERVICE.md`'s changelog.
+
+use skewsearch::core::{Match, MutationError, SetId, SetSimilaritySearch};
+use skewsearch::server::{share, QueryService, Server, ServerConfig, ServerHooks, ServiceClient};
+use skewsearch::sets::SparseVec;
+use std::path::PathBuf;
+
+/// Deterministic toy index: id 0 holds {1,2}, id 1 holds {7,8}; any query
+/// touching a set matches it at similarity 0.875 (a dyadic rational, so its
+/// decimal rendering is short and stable).
+struct Toy {
+    sets: Vec<Vec<u32>>,
+}
+
+impl SetSimilaritySearch for Toy {
+    fn search(&self, q: &SparseVec) -> Option<Match> {
+        self.search_all(q).into_iter().next()
+    }
+    fn search_all(&self, q: &SparseVec) -> Vec<Match> {
+        self.sets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.iter().any(|d| q.contains(*d)))
+            .map(|(id, _)| Match {
+                id,
+                similarity: 0.875,
+            })
+            .collect()
+    }
+    fn insert(&mut self, set: SparseVec) -> Result<SetId, MutationError> {
+        self.sets.push(set.iter().collect());
+        Ok(self.sets.len() - 1)
+    }
+    fn remove(&mut self, _id: SetId) -> Result<bool, MutationError> {
+        Err(MutationError::Unsupported)
+    }
+    fn supports_mutation(&self) -> bool {
+        true
+    }
+    fn threshold(&self) -> f64 {
+        0.5
+    }
+    fn len(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/wire")
+        .join(format!("{name}.http"))
+}
+
+/// One scripted exchange: endpoint, request body, fixture name.
+const EXCHANGES: &[(&str, &str, &[u8], &str)] = &[
+    ("GET", "/healthz", b"", "healthz"),
+    ("GET", "/stats", b"", "stats_fresh"),
+    ("POST", "/search", br#"{"dims":[1]}"#, "search_hit"),
+    ("POST", "/search", br#"{"dims":[99]}"#, "search_miss"),
+    (
+        "POST",
+        "/search",
+        br#"{"dims":[1],"deadline_ms":0}"#,
+        "search_deadline_exceeded",
+    ),
+    (
+        "POST",
+        "/search_batch",
+        br#"{"queries":[[1],[7],[99]]}"#,
+        "search_batch",
+    ),
+    ("POST", "/insert", br#"{"dims":[5,6]}"#, "insert"),
+    ("POST", "/remove", br#"{"id":0}"#, "remove_read_only"),
+    ("POST", "/search", b"not json", "bad_request"),
+    ("GET", "/unknown", b"", "not_found"),
+    ("PUT", "/search", b"{}", "method_not_allowed"),
+];
+
+#[test]
+fn response_bytes_match_the_golden_fixtures_per_endpoint() {
+    let bless = std::env::var_os("SKEWSEARCH_BLESS").is_some();
+    let mut mismatches = Vec::new();
+    for &(method, path, body, name) in EXCHANGES {
+        // Fresh server per exchange: every response — /stats included — is
+        // a pure function of this single request.
+        let service = QueryService::new(share(Toy {
+            sets: vec![vec![1, 2], vec![7, 8]],
+        }));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            service,
+            ServerConfig::default(),
+            ServerHooks::default(),
+        )
+        .expect("bind");
+        let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+        let raw = client
+            .raw_request(method, path, body)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        drop(client);
+        server.shutdown();
+
+        let file = fixture_path(name);
+        if bless {
+            std::fs::create_dir_all(file.parent().unwrap()).unwrap();
+            std::fs::write(&file, &raw.bytes).unwrap();
+            continue;
+        }
+        let want = std::fs::read(&file).unwrap_or_else(|e| {
+            panic!(
+                "{name}: cannot read {} ({e}); regenerate with SKEWSEARCH_BLESS=1",
+                file.display()
+            )
+        });
+        if raw.bytes != want {
+            mismatches.push(format!(
+                "{name}: served bytes differ from {}\n--- golden ---\n{}\n--- served ---\n{}",
+                file.display(),
+                String::from_utf8_lossy(&want),
+                String::from_utf8_lossy(&raw.bytes),
+            ));
+        }
+    }
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n\n"));
+}
+
+#[test]
+fn stats_after_traffic_still_decodes_and_counts_exactly() {
+    // Not a byte fixture (the latency histogram depends on real timings) but
+    // pins the *schema* and the deterministic counter values after a known
+    // request mix.
+    let service = QueryService::new(share(Toy {
+        sets: vec![vec![1, 2], vec![7, 8]],
+    }));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig::default(),
+        ServerHooks::default(),
+    )
+    .expect("bind");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+    client.search(&[1], None).expect("search");
+    client.search(&[2], None).expect("search");
+    client
+        .search_batch(&[vec![1], vec![7]], None)
+        .expect("batch");
+    client.insert(&[9]).expect("insert");
+    let _ = client.raw_request("POST", "/search", b"broken");
+    let stats = client.stats().expect("stats");
+    let get = |path: [&str; 2]| {
+        stats
+            .get(path[0])
+            .and_then(|v| v.get(path[1]))
+            .and_then(skewsearch::server::Json::as_u64)
+            .unwrap_or_else(|| panic!("missing {path:?}"))
+    };
+    assert_eq!(get(["requests", "search"]), 2);
+    assert_eq!(get(["requests", "search_batch"]), 1);
+    assert_eq!(get(["requests", "insert"]), 1);
+    assert_eq!(get(["requests", "remove"]), 0);
+    assert_eq!(get(["rejected", "client_error"]), 1);
+    assert_eq!(get(["rejected", "overload"]), 0);
+    assert_eq!(get(["rejected", "deadline"]), 0);
+    assert_eq!(get(["index", "live_sets"]), 3);
+    assert_eq!(get(["latency", "count"]), 3, "2 searches + 1 batch");
+    drop(client);
+    server.shutdown();
+}
